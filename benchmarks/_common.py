@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure, prints the rows, and
+persists them under ``benchmarks/results/`` so the artifacts survive
+pytest's output capture.  Benchmarks run their experiment exactly once
+(``pedantic(rounds=1)``): the timing payload is the experiment itself
+and repetition would only re-read the in-process cache.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_and_show(name: str, text: str) -> None:
+    """Persist *text* under benchmarks/results/<name>.txt and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn: Callable[[], object]) -> object:
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def column(rows: Sequence[dict], key: str) -> list:
+    return [row[key] for row in rows]

@@ -1,0 +1,54 @@
+"""Ablation (the paper's §7 future work): EASY backfilling.
+
+Runs the portfolio with the 60 plain policies vs the 60
+backfilling-enabled counterparts.  Backfilling relaxes head-of-line
+blocking, which should help slowdown most where wide jobs block queues
+of small ones (the parallel traces).
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, portfolio_kwargs
+from repro.metrics.report import format_table
+from repro.policies.backfilling import build_backfilling_portfolio
+from repro.workload.synthetic import DAS2_FS0, KTH_SP2
+
+
+def _rows():
+    rows = []
+    duration, seed = DEFAULT_SCALE.sweep_duration, DEFAULT_SCALE.seed
+    for spec in (KTH_SP2, DAS2_FS0):
+        for label, extra in (
+            ("plain", {}),
+            ("EASY backfilling", {"portfolio": build_backfilling_portfolio()}),
+        ):
+            result, _ = cached_portfolio_run(
+                spec, duration, seed, "oracle", **portfolio_kwargs(**extra)
+            )
+            rows.append(
+                {
+                    "trace": spec.name,
+                    "allocation": label,
+                    "BSD": round(result.metrics.avg_bounded_slowdown, 3),
+                    "cost[VMh]": round(result.metrics.charged_hours, 1),
+                    "utility": round(result.utility, 3),
+                }
+            )
+    return rows
+
+
+def test_ablation_backfilling(benchmark):
+    rows = run_once(benchmark, _rows)
+    save_and_show(
+        "ablation_backfilling",
+        format_table(rows, title="Ablation — EASY backfilling in the portfolio"),
+    )
+    by = {(r["trace"], r["allocation"]): r for r in rows}
+    for trace in ("KTH-SP2", "DAS2-fs0"):
+        easy = by[(trace, "EASY backfilling")]
+        plain = by[(trace, "plain")]
+        # backfilling must not make slowdown dramatically worse, and both
+        # configurations must finish the workload with positive utility
+        assert easy["utility"] > 0 and plain["utility"] > 0
+        assert easy["BSD"] <= plain["BSD"] * 1.3

@@ -1,0 +1,49 @@
+"""Ablation (the paper's explicit future work, §8): reflection.
+
+Blends each policy's current online-simulation score with its historical
+mean utility before choosing.  The paper asks "whether and to what
+extent the reflection can help improve the quality of the selected
+policies" — this bench measures it at several blend weights.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, portfolio_kwargs
+from repro.metrics.report import format_table
+from repro.workload.synthetic import DAS2_FS0, LPC_EGEE
+
+WEIGHTS = (0.0, 0.2, 0.5)
+
+
+def _rows():
+    rows = []
+    duration, seed = DEFAULT_SCALE.sweep_duration, DEFAULT_SCALE.seed
+    for spec in (DAS2_FS0, LPC_EGEE):
+        for w in WEIGHTS:
+            result, _ = cached_portfolio_run(
+                spec, duration, seed, "oracle",
+                **portfolio_kwargs(reflection_weight=w),
+            )
+            rows.append(
+                {
+                    "trace": spec.name,
+                    "reflection weight": w,
+                    "BSD": round(result.metrics.avg_bounded_slowdown, 3),
+                    "cost[VMh]": round(result.metrics.charged_hours, 1),
+                    "utility": round(result.utility, 3),
+                }
+            )
+    return rows
+
+
+def test_ablation_reflection(benchmark):
+    rows = run_once(benchmark, _rows)
+    save_and_show(
+        "ablation_reflection",
+        format_table(rows, title="Ablation — reflection (history-blended selection)"),
+    )
+    # reflection must not break the scheduler; how much it helps is the
+    # experiment's output, recorded in EXPERIMENTS.md
+    for r in rows:
+        assert r["utility"] > 0

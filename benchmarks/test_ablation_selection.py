@@ -1,0 +1,63 @@
+"""Ablation (beyond the paper): the value of informed selection.
+
+Replaces Algorithm 1 + online simulation with uninformed baselines —
+random policy per period and round-robin cycling — on the bursty traces.
+The portfolio's informed selection should beat both.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.core.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.experiments.cache import cached_portfolio_run, cached_trace
+from repro.experiments.configs import DEFAULT_SCALE, portfolio_kwargs
+from repro.experiments.engine import ClusterEngine
+from repro.metrics.report import format_table
+from repro.workload.synthetic import DAS2_FS0, LPC_EGEE
+
+
+def _rows():
+    rows = []
+    duration, seed = DEFAULT_SCALE.sweep_duration, DEFAULT_SCALE.seed
+    for spec in (DAS2_FS0, LPC_EGEE):
+        jobs = cached_trace(spec, duration, seed)
+        for scheduler in (
+            RandomScheduler(seed=3),
+            RoundRobinScheduler(),
+        ):
+            result = ClusterEngine(jobs, scheduler).run()
+            rows.append(
+                {
+                    "trace": spec.name,
+                    "selector": scheduler.describe(),
+                    "BSD": round(result.metrics.avg_bounded_slowdown, 3),
+                    "cost[VMh]": round(result.metrics.charged_hours, 1),
+                    "utility": round(result.utility, 3),
+                }
+            )
+        result, _ = cached_portfolio_run(
+            spec, duration, seed, "oracle", **portfolio_kwargs()
+        )
+        rows.append(
+            {
+                "trace": spec.name,
+                "selector": "algorithm-1 (online simulation)",
+                "BSD": round(result.metrics.avg_bounded_slowdown, 3),
+                "cost[VMh]": round(result.metrics.charged_hours, 1),
+                "utility": round(result.utility, 3),
+            }
+        )
+    return rows
+
+
+def test_ablation_selection(benchmark):
+    rows = run_once(benchmark, _rows)
+    save_and_show(
+        "ablation_selection",
+        format_table(rows, title="Ablation — informed vs uninformed policy selection"),
+    )
+    for trace in {r["trace"] for r in rows}:
+        sub = {r["selector"]: r["utility"] for r in rows if r["trace"] == trace}
+        informed = sub["algorithm-1 (online simulation)"]
+        for name, utility in sub.items():
+            if name != "algorithm-1 (online simulation)":
+                assert informed > utility, (trace, name, informed, utility)

@@ -1,0 +1,42 @@
+"""Figure 10: impact of the simulation time constraint Δ (20-600 ms at a
+virtual 10 ms per policy simulation).
+
+Shape claims: the number of policies evaluated per invocation is Δ/10 ms
+(capped at 60); utility improves with Δ and saturates once roughly a
+third of the 60-policy portfolio fits in the budget (the paper's
+conclusion that Δ = 200 ms suffices).
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.fig10 import fig10_rows
+from repro.metrics.report import format_table
+
+
+def _series(rows, trace, key):
+    return [r[key] for r in rows if r["trace"] == trace]
+
+
+def test_fig10(benchmark):
+    rows = run_once(benchmark, fig10_rows)
+    save_and_show(
+        "fig10", format_table(rows, title="Figure 10 — time constraint sweep")
+    )
+
+    traces = sorted({r["trace"] for r in rows})
+    for trace in traces:
+        sims = _series(rows, trace, "policies/invocation")
+        # the budget buys Δ/10ms simulations (within rounding, capped at 60)
+        deltas = _series(rows, trace, "delta[ms]")
+        for d, s in zip(deltas, sims):
+            assert s <= min(60.0, d / 10.0) + 2.0, (trace, d, s)
+        assert sims[0] <= 4.0  # 20 ms -> ~2 policies
+        assert sims[-1] >= 35.0  # 600 ms -> most of the portfolio
+
+        # utility at Δ>=200ms is at least as good as at 20ms, and the
+        # saturated tail (300-600ms) is flat within 25%
+        util = _series(rows, trace, "norm utility")
+        at_200 = util[deltas.index(200)]
+        assert at_200 >= 0.85, (trace, at_200)
+        tail = util[deltas.index(300):]
+        assert max(tail) - min(tail) <= 0.25 * max(tail), trace

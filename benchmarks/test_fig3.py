@@ -1,0 +1,23 @@
+"""Figure 3: per-10-minute job arrival patterns — stable vs bursty."""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.fig3 import fig3_rows
+from repro.metrics.report import format_table
+
+
+def test_fig3(benchmark):
+    rows = run_once(benchmark, fig3_rows)
+    save_and_show(
+        "fig3", format_table(rows, title="Figure 3 — arrival patterns (10-min bins)")
+    )
+
+    regime = {r["trace"]: r["regime"] for r in rows}
+    # the paper's visual claim, quantified by the index of dispersion
+    assert regime["KTH-SP2"] == "stable"
+    assert regime["SDSC-SP2"] == "stable"
+    assert regime["DAS2-fs0"] == "bursty"
+    assert regime["LPC-EGEE"] == "bursty"
+    disp = {r["trace"]: r["dispersion"] for r in rows}
+    assert disp["DAS2-fs0"] > 5 * disp["KTH-SP2"]
+    assert disp["LPC-EGEE"] > 5 * disp["SDSC-SP2"]

@@ -1,0 +1,52 @@
+"""Figure 4: portfolio vs. best constituent policies (accurate runtimes).
+
+Shape claims checked against the paper:
+* the portfolio is at least competitive with the best constituent policy
+  on every trace and strictly better on the bursty ones;
+* ODB/ODE (tight packers) have the worst slowdowns but low cost, while
+  ODA/ODM/ODX have low slowdown at higher cost.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.compare import compare_trace
+from repro.experiments.fig4 import fig4_rows
+from repro.metrics.report import format_table
+from repro.workload.synthetic import DAS2_FS0, KTH_SP2, TRACES
+
+
+def test_fig4(benchmark):
+    rows = run_once(benchmark, fig4_rows)
+    save_and_show(
+        "fig4",
+        format_table(
+            rows, title="Figure 4 — portfolio vs best constituent (accurate runtimes)"
+        ),
+    )
+
+    for spec in TRACES:
+        cmp = compare_trace(spec, "oracle")
+        assert cmp.portfolio.unfinished_jobs == 0
+        # competitive everywhere: no worse than 10% below the (hindsight)
+        # best constituent on any trace...
+        assert cmp.improvement() > -0.10, (
+            f"{spec.name}: portfolio {cmp.portfolio.utility:.2f} vs best "
+            f"{cmp.best_constituent().result.utility:.2f}"
+        )
+
+    # ...and strictly better on the bursty traces, the paper's headline
+    bursty = [compare_trace(s, "oracle") for s in (DAS2_FS0,)]
+    assert any(c.improvement() > 0 for c in bursty)
+
+    # cost/slowdown structure within each trace: the cheapest cluster is
+    # not the fastest one
+    for spec in TRACES:
+        cmp = compare_trace(spec, "oracle")
+        by_cost = min(cmp.clusters, key=lambda cb: cb.result.metrics.charged_hours)
+        by_bsd = min(
+            cmp.clusters, key=lambda cb: cb.result.metrics.avg_bounded_slowdown
+        )
+        assert (
+            by_cost.result.metrics.avg_bounded_slowdown
+            >= by_bsd.result.metrics.avg_bounded_slowdown
+        )

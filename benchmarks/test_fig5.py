@@ -1,0 +1,31 @@
+"""Figure 5: ratio of policy invocations at three granularities.
+
+Shape claims: the portfolio exercises many distinct policies (not a
+winner-take-all); cheap provisioning (ODB/ODE/ODM) dominates the
+short-job bursty traces.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.fig5 import fig5_ratios, fig5_rows
+from repro.metrics.report import format_table
+
+
+def test_fig5(benchmark):
+    rows = run_once(benchmark, fig5_rows)
+    save_and_show(
+        "fig5", format_table(rows, title="Figure 5 — policy invocation ratios")
+    )
+
+    full = fig5_ratios(parts=3)
+    for trace, ratios in full.items():
+        assert sum(ratios.values()) == 1.0 or abs(sum(ratios.values()) - 1.0) < 1e-9
+        # portfolio scheduling is not winner-take-all: several distinct
+        # policies get invoked on every trace (paper Fig. 5a)
+        assert len(ratios) >= 4, f"{trace} used only {len(ratios)} policies"
+
+    prov = fig5_ratios(parts=1)
+    for trace in ("DAS2-fs0", "LPC-EGEE"):
+        cheap = sum(prov[trace].get(k, 0.0) for k in ("ODB", "ODE", "ODM"))
+        # short-job bursty traces leans on cheap provisioning (paper §6.1)
+        assert cheap > 0.4, f"{trace}: cheap-provisioning share {cheap:.0%}"

@@ -1,0 +1,42 @@
+"""Figure 6: effect of the utility-function parameters α (cost emphasis)
+and β (urgency emphasis) on slowdown and cost.
+
+Shape claims: raising α barely cuts cost (the paper's point: little cost
+headroom); raising β / dropping α reduces the bursty traces' slowdown;
+the extreme β=0 lets slowdown soar for the bursty traces.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.fig6 import fig6_rows
+from repro.metrics.report import format_table
+
+
+def _get(rows, setting, trace, key):
+    for r in rows:
+        if r["setting"] == setting and r["trace"] == trace:
+            return r[key]
+    raise KeyError((setting, trace, key))
+
+
+def test_fig6(benchmark):
+    rows = run_once(benchmark, fig6_rows)
+    save_and_show(
+        "fig6", format_table(rows, title="Figure 6 — utility parameter sweep")
+    )
+
+    for trace in ("DAS2-fs0", "LPC-EGEE"):
+        base_cost = _get(rows, "a1b1", trace, "cost[VMh]")
+        base_bsd = _get(rows, "a1b1", trace, "BSD")
+        # α=4: stressing cost-efficiency reduces cost only modestly
+        a4_cost = _get(rows, "a4b1", trace, "cost[VMh]")
+        assert a4_cost < base_cost * 1.25
+        # β=0 (cost-only): slowdown rises vs the balanced setting
+        b0_bsd = _get(rows, "b0", trace, "BSD")
+        assert b0_bsd >= base_bsd * 0.9
+        # α=0 (slowdown-only): slowdown drops to (or below) the balanced
+        # setting, at a cost premium
+        a0_bsd = _get(rows, "a0", trace, "BSD")
+        assert a0_bsd <= base_bsd * 1.05
+        a0_cost = _get(rows, "a0", trace, "cost[VMh]")
+        assert a0_cost >= base_cost * 0.8

@@ -1,0 +1,42 @@
+"""Figure 7: the Fig. 4 comparison under k-NN *predicted* runtimes.
+
+Shape claim: the portfolio stays competitive despite ~50%-accurate
+predictions — its slowdown degrades far less than prediction error
+would suggest (paper §6.3: "our portfolio scheduler is much less
+sensitive").
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.compare import compare_trace
+from repro.experiments.fig7 import fig7_rows
+from repro.metrics.report import format_table
+from repro.workload.synthetic import TRACES
+
+
+def test_fig7(benchmark):
+    rows = run_once(benchmark, fig7_rows)
+    save_and_show(
+        "fig7",
+        format_table(
+            rows, title="Figure 7 — portfolio vs best constituent (k-NN predictions)"
+        ),
+    )
+
+    for spec in TRACES:
+        knn = compare_trace(spec, "knn")
+        oracle = compare_trace(spec, "oracle")
+        assert knn.portfolio.unfinished_jobs == 0
+        # competitive with the per-predictor hindsight-best constituent.
+        # The tolerance is wider than Fig. 4's: under mispredictions the
+        # hindsight baseline gets to pick whichever of the 60 policies
+        # happens to resist this trace's specific errors, while the
+        # portfolio must discover that online through the same
+        # mispredicting simulator (EXPERIMENTS.md note 1).
+        assert knn.improvement() > -0.15, spec.name
+        # inaccuracy is not catastrophic: portfolio slowdown within 2x of
+        # the accurate-runtime run
+        assert (
+            knn.portfolio.metrics.avg_bounded_slowdown
+            <= 2.0 * oracle.portfolio.metrics.avg_bounded_slowdown + 0.5
+        ), spec.name

@@ -1,0 +1,36 @@
+"""Figure 9: impact of the portfolio selection period (1-16 x 20 s).
+
+Shape claims: slowdown moves little (<~10%); the number of selection
+invocations falls roughly as 1/period; cost of the bursty DAS2-fs0 is
+the most sensitive to long periods (the paper recommends period 1 for
+it, 8 for the stable traces).
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.fig9 import PERIODS, fig9_rows
+from repro.metrics.report import format_table
+
+
+def _series(rows, trace, key):
+    return [r[key] for r in rows if r["trace"] == trace]
+
+
+def test_fig9(benchmark):
+    rows = run_once(benchmark, fig9_rows)
+    save_and_show(
+        "fig9", format_table(rows, title="Figure 9 — selection period sweep")
+    )
+
+    traces = sorted({r["trace"] for r in rows})
+    assert len(traces) == 4
+    for trace in traces:
+        inv = _series(rows, trace, "norm invocations")
+        # invocations decrease monotonically, roughly as 1/period
+        assert all(a >= b - 1e-9 for a, b in zip(inv, inv[1:])), trace
+        assert inv[-1] < 0.35, f"{trace}: 16x period kept {inv[-1]:.0%} invocations"
+
+    # the bursty trace pays the largest cost penalty at long periods
+    das_cost = max(_series(rows, "DAS2-fs0", "norm cost"))
+    kth_cost = max(_series(rows, "KTH-SP2", "norm cost"))
+    assert das_cost >= kth_cost * 0.9

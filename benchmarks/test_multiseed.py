@@ -1,0 +1,40 @@
+"""Robustness of the headline claim across independent trace seeds.
+
+The paper's Fig. 4 is a single trace per system; synthetic traces let us
+re-draw the workload and check the portfolio's improvement is a property
+of the method.  Reported with bootstrap 95% confidence intervals.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.experiments.analysis import multi_seed_improvements
+from repro.experiments.configs import DAY, ExperimentScale
+from repro.metrics.report import format_table
+from repro.workload.synthetic import DAS2_FS0, LPC_EGEE
+
+#: Fig. 4's two-day horizon: the portfolio's advantage needs regime
+#: shifts to exploit, and one-day draws of the bursty traces are too
+#: noisy (a single quiet day can favour a lucky fixed policy).
+SCALE = ExperimentScale(compare_duration=2 * DAY, sweep_duration=1 * DAY)
+SEEDS = (42, 43, 44)
+
+
+def _studies():
+    return [
+        multi_seed_improvements(spec, seeds=SEEDS, scale=SCALE)
+        for spec in (DAS2_FS0, LPC_EGEE)
+    ]
+
+
+def test_multiseed(benchmark):
+    studies = run_once(benchmark, _studies)
+    rows = [s.row() for s in studies]
+    save_and_show(
+        "multiseed",
+        format_table(rows, title="Multi-seed robustness of the Fig. 4 improvement"),
+    )
+    for study in studies:
+        # the portfolio is competitive on every draw of the bursty traces
+        assert min(study.improvements) > -0.10, study
+        # and wins on average
+        assert study.mean() > 0.0, study

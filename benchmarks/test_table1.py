@@ -1,0 +1,22 @@
+"""Table 1: trace characteristics of the four (synthetic) workloads."""
+
+from _common import column, run_once, save_and_show
+
+from repro.experiments.table1 import table1_rows
+from repro.metrics.report import format_table
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    save_and_show("table1", format_table(rows, title="Table 1 — trace characteristics"))
+
+    assert [r["Trace"] for r in rows] == ["KTH-SP2", "SDSC-SP2", "DAS2-fs0", "LPC-EGEE"]
+    # every generated trace is fully within the paper's <=64-proc filter
+    assert all(r["%<=64"] == 100.0 for r in rows)
+    # measured load within a factor of ~1.5 of the published utilisation
+    for r in rows:
+        assert 0.5 <= r["Load[%]"] / r["paper Load[%]"] <= 1.6, r
+    # the two production systems are the heavily loaded ones
+    loads = dict(zip(column(rows, "Trace"), column(rows, "Load[%]")))
+    assert loads["KTH-SP2"] > loads["DAS2-fs0"]
+    assert loads["SDSC-SP2"] > loads["LPC-EGEE"]

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file only exists so
+very old tooling (or `python setup.py develop` in constrained offline
+environments) still works.
+"""
+
+from setuptools import setup
+
+setup()

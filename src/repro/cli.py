@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``repro trace`` — generate a synthetic trace (optionally write SWF) and
+  print its Table 1-style summary,
+* ``repro run`` — replay a trace (synthetic or SWF) under the portfolio
+  scheduler or a single fixed policy,
+* ``repro figure`` — regenerate one of the paper's tables/figures,
+* ``repro policies`` — list the 60 portfolio members.
+
+Invoke as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.engine import EngineConfig
+from repro.experiments.runner import run_fixed, run_portfolio
+from repro.metrics.report import format_table
+from repro.policies.combined import build_portfolio, policy_by_name
+from repro.predict.knn import KnnPredictor
+from repro.predict.simple import OraclePredictor, UserEstimatePredictor
+from repro.sim.clock import VirtualCostClock
+from repro.workload.cleaning import clean_jobs
+from repro.workload.job import Job
+from repro.workload.stats import summarize_trace
+from repro.workload.swf import parse_swf_file, write_swf
+from repro.workload.synthetic import TRACES, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+_TRACES = {spec.name: spec for spec in TRACES}
+_FIGURES = (
+    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Portfolio scheduling for scientific workloads in IaaS "
+        "clouds (SC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate and summarise a synthetic trace")
+    p_trace.add_argument("model", choices=sorted(_TRACES))
+    p_trace.add_argument("--hours", type=float, default=24.0)
+    p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.add_argument("--swf-out", metavar="PATH", help="also write the trace as SWF")
+
+    p_run = sub.add_parser("run", help="replay a trace under a scheduler")
+    source = p_run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--model", choices=sorted(_TRACES))
+    source.add_argument("--swf", metavar="PATH", help="Standard Workload Format file")
+    p_run.add_argument("--hours", type=float, default=24.0)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument(
+        "--policy",
+        default="portfolio",
+        help="'portfolio' (default) or a fixed policy name like ODX-UNICEF-FirstFit",
+    )
+    p_run.add_argument(
+        "--predictor", choices=("oracle", "knn", "user"), default="oracle"
+    )
+    p_run.add_argument("--max-vms", type=int, default=256)
+    p_run.add_argument("--system-procs", type=int, default=128,
+                       help="source system size for SWF cleaning")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p_fig.add_argument("name", choices=_FIGURES)
+
+    sub.add_parser("policies", help="list the 60 portfolio policies")
+    return parser
+
+
+def _predictor(name: str):
+    return {"oracle": OraclePredictor, "knn": KnnPredictor,
+            "user": UserEstimatePredictor}[name]()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec = _TRACES[args.model]
+    duration = args.hours * 3_600.0
+    jobs = generate_trace(spec, duration, args.seed)
+    if not jobs:
+        print("trace is empty at this duration/seed", file=sys.stderr)
+        return 1
+    summary = summarize_trace(spec.name, jobs, spec.system_procs, span=duration)
+    print(format_table([summary.row()], title=f"{spec.name} — {args.hours:g} h"))
+    if args.swf_out:
+        with open(args.swf_out, "w", encoding="utf-8") as fh:
+            write_swf(jobs, fh, header=f"synthetic {spec.name} trace, seed {args.seed}")
+        print(f"wrote {len(jobs)} jobs to {args.swf_out}")
+    return 0
+
+
+def _load_jobs(args: argparse.Namespace) -> list[Job]:
+    if args.model:
+        spec = _TRACES[args.model]
+        return generate_trace(spec, args.hours * 3_600.0, args.seed)
+    raw = parse_swf_file(args.swf)
+    jobs, report = clean_jobs(raw, system_procs=args.system_procs)
+    print(f"cleaned SWF: kept {report.kept}/{report.total} jobs")
+    return jobs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    jobs = _load_jobs(args)
+    if not jobs:
+        print("no jobs to run", file=sys.stderr)
+        return 1
+    from repro.cloud.provider import ProviderConfig
+
+    config = EngineConfig(provider=ProviderConfig(max_vms=args.max_vms))
+    predictor = _predictor(args.predictor)
+    if args.policy == "portfolio":
+        result, scheduler = run_portfolio(
+            jobs, predictor, config,
+            cost_clock=VirtualCostClock(0.010), seed=7,
+        )
+        extra = {"selections": result.portfolio_invocations}
+    else:
+        try:
+            policy = policy_by_name(args.policy)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        result = run_fixed(jobs, policy, predictor, config)
+        extra = {}
+    m = result.metrics
+    row = {
+        "scheduler": result.scheduler_desc,
+        "jobs": m.jobs,
+        "BSD": round(m.avg_bounded_slowdown, 3),
+        "cost[VMh]": round(m.charged_hours, 1),
+        "util": round(m.utilization, 3),
+        "utility": round(result.utility, 3),
+        **extra,
+    }
+    print(format_table([row], title="run result"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_policies(_: argparse.Namespace) -> int:
+    for policy in build_portfolio():
+        print(policy.name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "trace": _cmd_trace,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "policies": _cmd_policies,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

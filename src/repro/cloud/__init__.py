@@ -1,0 +1,23 @@
+"""IaaS-cloud substrate.
+
+Models the paper's resource environment (§5.1): homogeneous single-core
+VM instances leased on demand through an Amazon EC2-style API, charged by
+the (rounded-up) hour, with a fixed acquisition/boot delay of 120 s and a
+cap of 256 concurrently leased VMs.
+"""
+
+from repro.cloud.billing import BillingModel, HourlyBilling
+from repro.cloud.profile import CloudProfile, VMSnapshot
+from repro.cloud.provider import CloudProvider, ProviderConfig
+from repro.cloud.vm import VM, VMState
+
+__all__ = [
+    "BillingModel",
+    "CloudProfile",
+    "CloudProvider",
+    "HourlyBilling",
+    "ProviderConfig",
+    "VM",
+    "VMSnapshot",
+    "VMState",
+]

@@ -1,0 +1,79 @@
+"""Billing models.
+
+The paper follows the (2013-era) Amazon EC2 on-demand cost model: VM usage
+is charged in whole hours, rounded **up** from lease time to termination
+time.  ``RV`` — the total charged VM seconds — doubles as the monetary
+cost metric throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = ["BillingModel", "HourlyBilling", "HOUR"]
+
+HOUR = 3_600.0
+
+
+class BillingModel(abc.ABC):
+    """Maps a VM's (lease, end) interval to charged seconds."""
+
+    @abc.abstractmethod
+    def charged_seconds(self, lease_time: float, end_time: float) -> float:
+        """Charged seconds for a VM leased at *lease_time*, gone at *end_time*."""
+
+    @abc.abstractmethod
+    def remaining_paid(self, lease_time: float, now: float) -> float:
+        """Seconds of already-paid time left before the next charging step.
+
+        This is the quantity BestFit/WorstFit VM selection ranks on and the
+        release rule consults (terminate when it approaches 0).
+        """
+
+    @abc.abstractmethod
+    def next_boundary(self, lease_time: float, now: float) -> float:
+        """Absolute time of the next charging boundary strictly after *now*.
+
+        Strictness matters: boundary events reschedule themselves from the
+        boundary instant, and an at-or-after contract would loop forever.
+        """
+
+
+class HourlyBilling(BillingModel):
+    """Charge per started hour (EC2 on-demand, 2013 semantics).
+
+    A VM leased at *t* and terminated at *t*+1 s costs one full hour; at
+    *t*+3600 s exactly, also one hour (the boundary belongs to the expiring
+    period); at *t*+3601 s, two hours.
+    """
+
+    def __init__(self, period: float = HOUR) -> None:
+        if period <= 0:
+            raise ValueError(f"billing period must be positive, got {period}")
+        self.period = float(period)
+
+    def charged_seconds(self, lease_time: float, end_time: float) -> float:
+        if end_time < lease_time:
+            raise ValueError(
+                f"end_time {end_time} precedes lease_time {lease_time}"
+            )
+        used = end_time - lease_time
+        periods = max(1, math.ceil(used / self.period - 1e-9))
+        return periods * self.period
+
+    def remaining_paid(self, lease_time: float, now: float) -> float:
+        if now < lease_time:
+            raise ValueError(f"now {now} precedes lease_time {lease_time}")
+        used = now - lease_time
+        into = used % self.period
+        if into == 0 and used > 0:
+            return 0.0
+        return self.period - into
+
+    def next_boundary(self, lease_time: float, now: float) -> float:
+        if now < lease_time:
+            raise ValueError(f"now {now} precedes lease_time {lease_time}")
+        used = now - lease_time
+        periods = math.floor(used / self.period + 1e-9) + 1
+        return lease_time + periods * self.period

@@ -1,0 +1,111 @@
+"""Cloud profile snapshots.
+
+The portfolio scheduler's online simulator must evaluate tens of policies
+against "the resource profile of the current system" (paper Fig. 2)
+without mutating real state.  A :class:`CloudProfile` is that snapshot:
+a compact, immutable view of the live fleet, cheap to copy per policy
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cloud.vm import VMState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.provider import CloudProvider
+
+__all__ = ["VMSnapshot", "CloudProfile"]
+
+
+@dataclass(slots=True, frozen=True)
+class VMSnapshot:
+    """Frozen view of one live VM at snapshot time."""
+
+    vm_id: int
+    lease_time: float
+    ready_time: float
+    busy_until: float  # -1 when not busy
+
+    def is_booting(self, now: float) -> bool:
+        return now < self.ready_time
+
+    def is_busy(self, now: float) -> bool:
+        return self.busy_until > now
+
+
+@dataclass(slots=True, frozen=True)
+class CloudProfile:
+    """State of the fleet handed to the online simulator.
+
+    Attributes
+    ----------
+    now:
+        Snapshot timestamp.
+    vms:
+        Live VMs (booting, idle, and busy).
+    max_vms / boot_delay / billing_period:
+        Provider parameters the simulated policies must respect.
+    """
+
+    now: float
+    vms: tuple[VMSnapshot, ...]
+    max_vms: int
+    boot_delay: float
+    billing_period: float
+
+    @classmethod
+    def capture(cls, provider: "CloudProvider", now: float) -> "CloudProfile":
+        """Snapshot *provider* at time *now*."""
+        from repro.cloud.billing import HourlyBilling
+
+        billing = provider.billing
+        period = billing.period if isinstance(billing, HourlyBilling) else 3_600.0
+        snaps = []
+        for vm in provider.vms():
+            busy_until = vm.busy_until if vm.state is VMState.BUSY else -1.0
+            snaps.append(
+                VMSnapshot(
+                    vm_id=vm.vm_id,
+                    lease_time=vm.lease_time,
+                    ready_time=vm.ready_time,
+                    busy_until=busy_until,
+                )
+            )
+        return cls(
+            now=now,
+            vms=tuple(snaps),
+            max_vms=provider.config.max_vms,
+            boot_delay=provider.config.boot_delay,
+            billing_period=period,
+        )
+
+    def idle_count(self) -> int:
+        return sum(
+            1 for vm in self.vms if not vm.is_booting(self.now) and not vm.is_busy(self.now)
+        )
+
+    def booting_count(self) -> int:
+        return sum(1 for vm in self.vms if vm.is_booting(self.now))
+
+    def busy_count(self) -> int:
+        return sum(1 for vm in self.vms if vm.is_busy(self.now))
+
+
+def profile_from_vms(
+    now: float,
+    vms: Sequence[VMSnapshot],
+    max_vms: int = 256,
+    boot_delay: float = 120.0,
+    billing_period: float = 3_600.0,
+) -> CloudProfile:
+    """Build a profile directly from snapshots (tests, synthetic states)."""
+    return CloudProfile(
+        now=now,
+        vms=tuple(vms),
+        max_vms=max_vms,
+        boot_delay=boot_delay,
+        billing_period=billing_period,
+    )

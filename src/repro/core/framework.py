@@ -1,0 +1,107 @@
+"""Rice's algorithm-selection model applied to portfolio scheduling
+(paper §2, Fig. 1).
+
+The abstract model has three spaces and a selection mapping:
+
+* the **problem space** P — here, the current workload (online
+  scheduling considers only the present queue),
+* the **algorithm space** A — the policy portfolio,
+* the **performance space** Y — the utility functions to optimise,
+* the **selection mapping** S: P × A → Y — here, online simulation.
+
+:class:`AlgorithmSelectionModel` packages the three spaces plus the
+mapping so experiments can express "same problem, different algorithm
+space" or "same spaces, different mapping" configurations explicitly —
+and it is the documentation anchor tying the code back to the paper's
+four-step process (creation → selection → application → reflection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cloud.profile import CloudProfile
+from repro.core.online_sim import OnlineSimulator
+from repro.core.utility import UtilityFunction
+from repro.policies.combined import CombinedPolicy, build_portfolio
+from repro.workload.job import Job
+
+__all__ = ["AlgorithmSelectionModel", "ProblemInstance"]
+
+
+@dataclass(slots=True, frozen=True)
+class ProblemInstance:
+    """One point of the problem space P: the current queue and cloud state."""
+
+    queue: tuple[Job, ...]
+    waits: tuple[float, ...]
+    runtimes: tuple[float, ...]
+    profile: CloudProfile
+
+    def __post_init__(self) -> None:
+        if not (len(self.queue) == len(self.waits) == len(self.runtimes)):
+            raise ValueError("queue, waits and runtimes must be parallel")
+
+
+@dataclass(frozen=True)
+class AlgorithmSelectionModel:
+    """The creation step: the three spaces plus the selection mapping.
+
+    The default construction is exactly the paper's: A = the 60-policy
+    portfolio, Y = {U(κ=100, α=1, β=1)}, S = online simulation.
+    """
+
+    algorithm_space: tuple[CombinedPolicy, ...] = field(
+        default_factory=lambda: tuple(build_portfolio())
+    )
+    performance_space: tuple[UtilityFunction, ...] = (UtilityFunction(),)
+    mapping: OnlineSimulator | None = None
+
+    def __post_init__(self) -> None:
+        if not self.algorithm_space:
+            raise ValueError("algorithm space must not be empty")
+        if not self.performance_space:
+            raise ValueError("performance space must not be empty")
+
+    def selection_mapping(
+        self, objective: UtilityFunction | None = None
+    ) -> Callable[[ProblemInstance, CombinedPolicy], float]:
+        """S(x, a): score algorithm *a* on problem *x* for *objective*.
+
+        This is the exhaustive (non-time-constrained) mapping; Algorithm 1
+        wraps it with budgets in :mod:`repro.core.selection`.
+        """
+        utility = objective or self.performance_space[0]
+        simulator = self.mapping or OnlineSimulator(utility)
+
+        def score(problem: ProblemInstance, algorithm: CombinedPolicy) -> float:
+            if algorithm not in self.algorithm_space:
+                raise ValueError(f"{algorithm.name} is not in the algorithm space")
+            return simulator.evaluate(
+                problem.queue,
+                problem.waits,
+                problem.runtimes,
+                problem.profile,
+                algorithm,
+            ).score
+
+        return score
+
+    def best_algorithm(
+        self, problem: ProblemInstance, objective: UtilityFunction | None = None
+    ) -> tuple[CombinedPolicy, float]:
+        """Exhaustively evaluate A on *problem*; the winner and its score.
+
+        The ground truth Algorithm 1 approximates under time pressure —
+        used by tests to quantify selection quality.
+        """
+        score = self.selection_mapping(objective)
+        best: CombinedPolicy | None = None
+        best_score = float("-inf")
+        for algorithm in self.algorithm_space:
+            s = score(problem, algorithm)
+            if s > best_score:
+                best, best_score = algorithm, s
+        assert best is not None
+        return best, best_score

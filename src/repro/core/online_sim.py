@@ -1,0 +1,378 @@
+"""The online simulator (paper §3.3).
+
+Given the queued jobs, a snapshot of the cloud (the *profile*), and one
+candidate policy, the online simulator fast-forwards the system — with no
+future arrivals — until every queued job finishes, and scores the policy
+with the utility function.  It is the selection mapping S(·) of the
+abstract model, invoked up to 60 times per scheduling decision, so it is
+built for speed:
+
+* it shares :meth:`CombinedPolicy.allocate` / ``new_vms`` with the real
+  engine (identical semantics, no code divergence), but
+* instead of ticking every 20 s it jumps between *decision-relevant*
+  times: VM boot completions, job finishes, idle-VM billing boundaries,
+  ODX urgency crossings — falling back to tick-stepping only in the rare
+  head-blocked state where queue reordering could unblock allocation, and
+* each step makes a single pass over the live fleet (classification,
+  next-event search and release checks fused), with released VMs charged
+  incrementally and dropped from the scan.
+
+Cost accounting is **marginal**: pre-existing VMs are charged only for
+what the simulated horizon adds beyond their already-booked hours, VMs
+leased in-sim are charged in full.  That makes the score reflect the cost
+*caused by this decision*, which is what selection should optimise.
+Runtimes are the scheduler's estimates throughout — the online simulator
+cannot know actual runtimes (paper §6.3 measures the consequences).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cloud.profile import CloudProfile
+from repro.core.utility import UtilityFunction
+from repro.policies.base import IdleVM, SchedContext
+from repro.policies.combined import CombinedPolicy
+from repro.policies.provisioning import ODX
+from repro.workload.job import BOUNDED_SLOWDOWN_BOUND, Job
+
+__all__ = ["OnlineSimulator", "SimOutcome"]
+
+_EPS = 1e-6
+_INF = float("inf")
+
+
+@dataclass(slots=True, frozen=True)
+class SimOutcome:
+    """Result of one policy evaluation."""
+
+    score: float
+    bsd: float
+    rj_seconds: float
+    rv_seconds: float
+    steps: int
+    end_time: float
+    truncated: bool = False
+
+
+@dataclass(slots=True)
+class _SimVM:
+    """Mutable in-sim VM record (cheap, no provider machinery)."""
+
+    lease_time: float
+    ready_time: float
+    busy_until: float  # -1.0 when idle/booting
+    preexisting: bool
+    last_busy_end: float  # latest time this VM was in use
+
+
+class OnlineSimulator:
+    """Scores (queue, profile, policy) triples.
+
+    Parameters
+    ----------
+    utility:
+        Objective to score with.
+    tick:
+        Fallback step for the head-blocked state (the engine's 20 s).
+    max_steps:
+        Safety valve: a simulation exceeding this many decision points is
+        truncated (score 0), never looped forever.
+    """
+
+    def __init__(
+        self,
+        utility: UtilityFunction | None = None,
+        tick: float = 20.0,
+        max_steps: int = 100_000,
+        rv_accounting: str = "total",
+        release_rule: str = "eager",
+    ) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        if rv_accounting not in ("total", "marginal"):
+            raise ValueError(
+                f"rv_accounting must be 'total' or 'marginal', got {rv_accounting!r}"
+            )
+        if release_rule not in ("eager", "boundary"):
+            raise ValueError(
+                f"release_rule must be 'eager' or 'boundary', got {release_rule!r}"
+            )
+        self.utility = utility or UtilityFunction()
+        self.tick = float(tick)
+        self.max_steps = max_steps
+        #: "total" charges every rented VM from its lease time (the paper's
+        #: RV definition); "marginal" nets out the hours pre-existing VMs
+        #: had already booked before the snapshot (decision-cost view,
+        #: available for ablations).
+        self.rv_accounting = rv_accounting
+        #: Must match the engine's idle-VM release rule (see EngineConfig).
+        self.release_rule = release_rule
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+        policy: CombinedPolicy,
+    ) -> SimOutcome:
+        """Simulate *policy* on the snapshot and return its utility score.
+
+        ``queue``/``waits``/``runtimes`` are parallel: the queued jobs,
+        their already-accrued wait at snapshot time, and the runtime
+        estimates the scheduler plans with.
+        """
+        if not (len(queue) == len(waits) == len(runtimes)):
+            raise ValueError("queue, waits and runtimes must be parallel")
+        t0 = profile.now
+        period = profile.billing_period
+        boot = profile.boot_delay
+        max_vms = profile.max_vms
+        provisioning = policy.provisioning
+        is_odx = isinstance(provisioning, ODX)
+
+        active: list[_SimVM] = [
+            _SimVM(
+                lease_time=snap.lease_time,
+                ready_time=snap.ready_time,
+                busy_until=snap.busy_until if snap.busy_until > t0 else -1.0,
+                preexisting=True,
+                last_busy_end=max(t0, snap.busy_until),
+            )
+            for snap in profile.vms
+        ]
+        rv = 0.0  # marginal charges of VMs released in-sim
+
+        pending: list[int] = list(range(len(queue)))
+        start_times: dict[int, float] = {}
+        procs_of = [job.procs for job in queue]
+
+        t = t0
+        steps = 0
+        truncated = False
+
+        while pending:
+            steps += 1
+            if steps > self.max_steps:
+                truncated = True
+                break
+
+            # --- one pass: classify fleet, collect next event time --------
+            idle: list[_SimVM] = []
+            busy_frees: list[float] = []
+            next_event = _INF
+            for vm in active:
+                bu = vm.busy_until
+                if bu > t:
+                    busy_frees.append(bu)
+                    if bu < next_event:
+                        next_event = bu
+                elif vm.ready_time > t:
+                    if vm.ready_time < next_event:
+                        next_event = vm.ready_time
+                else:
+                    if bu > 0:
+                        vm.busy_until = -1.0
+                    idle.append(vm)
+
+            ctx = SchedContext(
+                now=t,
+                queue=[queue[i] for i in pending],
+                waits=[waits[i] + (t - t0) for i in pending],
+                runtimes=[runtimes[i] for i in pending],
+                rented=len(active),
+                available=len(active) - len(busy_frees),
+                busy=len(busy_frees),
+                busy_free_times=busy_frees,
+                max_vms=max_vms,
+            )
+
+            # --- boundary-rule release pass (ablation mode only) ----------
+            if self.release_rule == "boundary":
+                kept: list[_SimVM] = []
+                released: list[_SimVM] = []
+                for vm in idle:
+                    into = (t - vm.lease_time) % period
+                    at_boundary = into < _EPS and t > vm.lease_time + _EPS
+                    if at_boundary and not provisioning.keep_idle_vm(ctx, 0.0):
+                        rv += self._vm_charge(vm, t0, t, period)
+                        released.append(vm)
+                        ctx.rented -= 1
+                        ctx.available -= 1
+                    else:
+                        kept.append(vm)
+                        nb = t + (period - into if into > _EPS else period)
+                        if nb < next_event:
+                            next_event = nb
+                if released:
+                    gone = set(map(id, released))
+                    active = [vm for vm in active if id(vm) not in gone]
+                idle = kept
+
+            # --- provisioning ----------------------------------------------
+            n_new = policy.new_vms(ctx)
+            for _ in range(n_new):
+                nvm = _SimVM(
+                    lease_time=t,
+                    ready_time=t + boot,
+                    busy_until=-1.0,
+                    preexisting=False,
+                    last_busy_end=t,
+                )
+                active.append(nvm)
+                if nvm.ready_time < next_event:
+                    next_event = nvm.ready_time
+            if n_new:
+                ctx.rented += n_new
+                ctx.available += n_new
+
+            # --- allocation -------------------------------------------------
+            supply_changed = n_new > 0
+            if idle and pending:
+                views = [
+                    IdleVM(
+                        vm_id=i,
+                        remaining_paid=(period - (t - vm.lease_time) % period)
+                        % period
+                        or period,
+                    )
+                    for i, vm in enumerate(idle)
+                ]
+                allocations = policy.allocate(ctx, views, period)
+                if allocations:
+                    started: set[int] = set()
+                    used: set[int] = set()
+                    for alloc in allocations:
+                        qidx = pending[alloc.queue_index]
+                        finish = t + max(runtimes[qidx], 1.0)
+                        for vid in alloc.vm_ids:
+                            vm = idle[vid]
+                            vm.busy_until = finish
+                            vm.last_busy_end = finish
+                            used.add(vid)
+                        start_times[qidx] = t
+                        started.add(qidx)
+                        if finish < next_event:
+                            next_event = finish
+                    pending = [i for i in pending if i not in started]
+                    if not pending:
+                        break
+                    idle = [vm for i, vm in enumerate(idle) if i not in used]
+                    supply_changed = True
+
+            # --- eager release: drop idle VMs the queue no longer needs ----
+            # (idle beyond queued demand only; booting VMs are not counted
+            # as supply — see ClusterEngine._release_surplus for why)
+            if self.release_rule == "eager" and idle:
+                demand_left = sum(procs_of[i] for i in pending)
+                surplus = max(0, len(idle) - demand_left)
+                if surplus > 0:
+                    idle.sort(
+                        key=lambda vm: (period - (t - vm.lease_time) % period) % period
+                        or period
+                    )
+                    gone_eager = set()
+                    for vm in idle[:surplus]:
+                        rv += self._vm_charge(vm, t0, t, period)
+                        gone_eager.add(id(vm))
+                    active = [vm for vm in active if id(vm) not in gone_eager]
+                    idle = idle[surplus:]
+                    supply_changed = True
+
+            # --- extra wake-ups ---------------------------------------------
+            # The engine re-applies the policy every tick: after any supply
+            # change (lease/allocation/release) the next tick's provisioning
+            # decision can differ (e.g. ODM re-leases once its VMs turn
+            # busy), so wake up one tick later rather than jumping past it.
+            if supply_changed and pending:
+                cand = t + self.tick
+                if cand < next_event:
+                    next_event = cand
+            if is_odx:
+                for i in pending:
+                    denom = max(runtimes[i], BOUNDED_SLOWDOWN_BOUND)
+                    crossing = t0 + (denom - waits[i]) + _EPS
+                    if t < crossing < next_event:
+                        next_event = crossing
+            if idle and pending:
+                # Head-blocked: a smaller job could fit the idle pool but the
+                # priority head does not; reordering over time may unblock it,
+                # so fall back to tick-stepping.
+                if min(procs_of[i] for i in pending) <= len(idle):
+                    cand = t + self.tick
+                    if cand < next_event:
+                        next_event = cand
+            if next_event is _INF or next_event == _INF:
+                next_event = t + self.tick
+            t = next_event
+
+        # --- scoring ------------------------------------------------------
+        end_time = t0
+        for qidx, start in start_times.items():
+            finish = start + max(runtimes[qidx], 1.0)
+            if finish > end_time:
+                end_time = finish
+
+        rj = 0.0
+        bsd_sum = 0.0
+        for qidx in range(len(queue)):
+            est = max(runtimes[qidx], 1.0)
+            rj += procs_of[qidx] * est
+            start = start_times.get(qidx)
+            if start is None:
+                # Truncated before this job started: penalise with the wait
+                # accrued up to truncation plus one full horizon.
+                total_wait = waits[qidx] + (t - t0) + (end_time - t0)
+            else:
+                total_wait = waits[qidx] + (start - t0)
+            denom = max(est, BOUNDED_SLOWDOWN_BOUND)
+            bsd_sum += max(1.0, (total_wait + denom) / denom)
+        bsd = bsd_sum / len(queue) if queue else 1.0
+
+        # Still-active VMs are charged through their last use: with the
+        # release-at-boundary rule, terminating right after the last job
+        # costs exactly the same hours, so this is the cost a non-wasteful
+        # wind-down would book.
+        for vm in active:
+            rv += self._vm_charge(vm, t0, vm.last_busy_end, period)
+
+        score = self.utility(rj, rv, bsd)
+        if truncated:
+            score = 0.0  # a policy that cannot drain the queue loses
+        return SimOutcome(
+            score=score,
+            bsd=bsd,
+            rj_seconds=rj,
+            rv_seconds=rv,
+            steps=steps,
+            end_time=end_time,
+            truncated=truncated,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _vm_charge(self, vm: _SimVM, t0: float, end: float, period: float) -> float:
+        """Hour-rounded charge of *vm* up to *end*.
+
+        In "total" mode (the paper's RV) the whole lease is charged; in
+        "marginal" mode the hours a pre-existing VM had already booked
+        before the snapshot are netted out.
+        """
+        full = self._charged(vm.lease_time, max(end, vm.lease_time), period)
+        if self.rv_accounting == "marginal" and vm.preexisting:
+            booked = self._charged(vm.lease_time, t0, period)
+            return max(0.0, full - booked)
+        return full
+
+    @staticmethod
+    def _charged(lease: float, end: float, period: float) -> float:
+        """Hour-rounded charge for [lease, end] (min one period)."""
+        used = max(0.0, end - lease)
+        return max(1, math.ceil(used / period - 1e-9)) * period

@@ -1,0 +1,109 @@
+"""Selection-quality diagnostics: how close does time-constrained
+selection get to exhaustive evaluation?
+
+Algorithm 1 trades coverage for latency; its *regret* at a decision
+point is the utility gap between the policy it picked and the true
+argmax over the whole portfolio.  The paper argues the Smart/Stale/Poor
+design keeps this gap small once Δ covers ≈⅓ of the portfolio (§6.5);
+:func:`measure_selection_quality` quantifies it directly on a stream of
+decision problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.profile import CloudProfile
+from repro.core.online_sim import OnlineSimulator
+from repro.core.selection import TimeConstrainedSelector
+from repro.policies.combined import CombinedPolicy
+from repro.workload.job import Job
+
+__all__ = ["DecisionProblem", "SelectionQuality", "measure_selection_quality"]
+
+
+@dataclass(slots=True, frozen=True)
+class DecisionProblem:
+    """One portfolio-selection instance (queue + cloud snapshot)."""
+
+    queue: tuple[Job, ...]
+    waits: tuple[float, ...]
+    runtimes: tuple[float, ...]
+    profile: CloudProfile
+
+    def __post_init__(self) -> None:
+        if not (len(self.queue) == len(self.waits) == len(self.runtimes)):
+            raise ValueError("queue, waits and runtimes must be parallel")
+        if not self.queue:
+            raise ValueError("a decision problem needs a non-empty queue")
+
+
+@dataclass(slots=True, frozen=True)
+class SelectionQuality:
+    """Aggregate regret of a selector over a problem stream."""
+
+    problems: int
+    exact_hits: int
+    mean_regret: float  # mean (best − chosen) utility gap
+    max_regret: float
+    mean_relative_score: float  # chosen / best, averaged
+
+    @property
+    def hit_rate(self) -> float:
+        return self.exact_hits / self.problems if self.problems else 0.0
+
+    def row(self) -> dict[str, object]:
+        return {
+            "problems": self.problems,
+            "hit rate": round(self.hit_rate, 3),
+            "mean regret": round(self.mean_regret, 3),
+            "max regret": round(self.max_regret, 3),
+            "chosen/best": round(self.mean_relative_score, 3),
+        }
+
+
+def measure_selection_quality(
+    selector: TimeConstrainedSelector,
+    problems: Sequence[DecisionProblem],
+    portfolio: Sequence[CombinedPolicy],
+    simulator: OnlineSimulator | None = None,
+) -> SelectionQuality:
+    """Run *selector* over *problems* and score it against exhaustive truth.
+
+    The selector keeps its Smart/Stale/Poor state across problems — the
+    stream should be chronologically ordered so stabilisation behaves as
+    it would in production.
+    """
+    if not problems:
+        raise ValueError("need at least one decision problem")
+    sim = simulator or selector.simulator
+    regrets: list[float] = []
+    relatives: list[float] = []
+    hits = 0
+    for problem in problems:
+        outcome = selector.select(
+            problem.queue, problem.waits, problem.runtimes, problem.profile
+        )
+        scores = {
+            policy.name: sim.evaluate(
+                problem.queue, problem.waits, problem.runtimes, problem.profile, policy
+            ).score
+            for policy in portfolio
+        }
+        best_name = max(scores, key=scores.get)  # type: ignore[arg-type]
+        best = scores[best_name]
+        chosen = scores[outcome.best.name]
+        if outcome.best.name == best_name or np.isclose(chosen, best):
+            hits += 1
+        regrets.append(max(0.0, best - chosen))
+        relatives.append(chosen / best if best > 0 else 1.0)
+    return SelectionQuality(
+        problems=len(problems),
+        exact_hits=hits,
+        mean_regret=float(np.mean(regrets)),
+        max_regret=float(np.max(regrets)),
+        mean_relative_score=float(np.mean(relatives)),
+    )

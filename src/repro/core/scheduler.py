@@ -1,0 +1,274 @@
+"""Scheduler frontends: the portfolio scheduler (Fig. 2) and the
+fixed-policy baseline.
+
+The cluster engine asks its scheduler for the active policy at every
+scheduling tick; the portfolio scheduler re-runs Algorithm 1 every
+*selection period* ticks (when the queue is non-empty) and keeps the
+winner applied in between, exactly the paper's §6.4 parameterisation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.profile import CloudProfile
+from repro.core.online_sim import OnlineSimulator
+from repro.core.reflection import ReflectionStore
+from repro.core.selection import TimeConstrainedSelector
+from repro.core.utility import UtilityFunction
+from repro.policies.combined import CombinedPolicy, build_portfolio
+from repro.sim.clock import CostClock
+from repro.workload.job import Job
+
+__all__ = [
+    "Scheduler",
+    "FixedScheduler",
+    "PortfolioScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+]
+
+
+class Scheduler(abc.ABC):
+    """Chooses the scheduling policy the engine applies at each tick."""
+
+    @abc.abstractmethod
+    def active_policy(
+        self,
+        tick_index: int,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> CombinedPolicy:
+        """The policy to apply at this tick (queue is non-empty)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedScheduler(Scheduler):
+    """Always applies one constituent policy (the paper's baselines)."""
+
+    def __init__(self, policy: CombinedPolicy) -> None:
+        self.policy = policy
+
+    def active_policy(
+        self,
+        tick_index: int,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> CombinedPolicy:
+        return self.policy
+
+    def describe(self) -> str:
+        return self.policy.name
+
+
+class PortfolioScheduler(Scheduler):
+    """The paper's portfolio scheduler.
+
+    Parameters
+    ----------
+    portfolio:
+        Candidate policies (default: all 60 of :func:`build_portfolio`).
+    utility:
+        Objective for the online simulator (default κ=100, α=β=1).
+    selection_period:
+        Re-select every this many scheduling ticks (paper §6.4 sweeps
+        1×–16× the 20 s tick).
+    time_constraint:
+        Δ for Algorithm 1, seconds.
+    lam:
+        λ, the Smart-set fraction.
+    cost_clock:
+        Cost model for Algorithm 1 (wall clock by default; the virtual
+        10 ms clock reproduces §6.5).
+    seed:
+        Seed for the random Poor-set sampling.
+    sim_tick:
+        Scheduling tick the online simulator assumes (20 s).
+    reflection_weight:
+        The paper's deferred *reflection* step (§2, future work): blend
+        each policy's current utility score with its historical mean from
+        the reflection store before picking the winner.  0 (default)
+        reproduces the paper; >0 enables the ablation.
+    """
+
+    def __init__(
+        self,
+        portfolio: Sequence[CombinedPolicy] | None = None,
+        utility: UtilityFunction | None = None,
+        selection_period: int = 1,
+        time_constraint: float = 0.2,
+        lam: float = 0.6,
+        cost_clock: CostClock | None = None,
+        seed: int = 0,
+        sim_tick: float = 20.0,
+        rv_accounting: str = "total",
+        release_rule: str = "eager",
+        reflection_weight: float = 0.0,
+    ) -> None:
+        if not 0.0 <= reflection_weight <= 1.0:
+            raise ValueError(
+                f"reflection_weight must lie in [0, 1], got {reflection_weight}"
+            )
+        if selection_period < 1:
+            raise ValueError(f"selection_period must be >= 1, got {selection_period}")
+        members = list(portfolio) if portfolio is not None else build_portfolio()
+        self.utility = utility or UtilityFunction()
+        self.simulator = OnlineSimulator(
+            self.utility,
+            tick=sim_tick,
+            rv_accounting=rv_accounting,
+            release_rule=release_rule,
+        )
+        self.selector = TimeConstrainedSelector(
+            members,
+            simulator=self.simulator,
+            time_constraint=time_constraint,
+            lam=lam,
+            cost_clock=cost_clock,
+            rng=np.random.default_rng(seed),
+        )
+        self.selection_period = int(selection_period)
+        self.reflection = ReflectionStore()
+        self.reflection_weight = float(reflection_weight)
+        self._active: CombinedPolicy | None = None
+        self._last_selection_tick: int | None = None
+        self._by_name = {p.name: p for p in members}
+
+    @property
+    def invocations(self) -> int:
+        """How many times Algorithm 1 ran (Fig. 9d's series)."""
+        return self.selector.invocations
+
+    def active_policy(
+        self,
+        tick_index: int,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> CombinedPolicy:
+        due = (
+            self._active is None
+            or self._last_selection_tick is None
+            or tick_index - self._last_selection_tick >= self.selection_period
+        )
+        if due and queue:
+            outcome = self.selector.select(queue, waits, runtimes, profile)
+            chosen = outcome.best
+            if self.reflection_weight > 0 and outcome.simulated:
+                # Reflection step: re-rank this invocation's scores blended
+                # with each policy's historical mean utility.
+                current = {ps.policy.name: ps.score for ps in outcome.simulated}
+                ranked = self.reflection.historical_rank(
+                    current, weight=self.reflection_weight
+                )
+                chosen = self._by_name[ranked[0][0]]
+            self._active = chosen
+            self._last_selection_tick = tick_index
+            self.reflection.record_invocation(
+                time=profile.now,
+                scores=[(ps.policy.name, ps.score) for ps in outcome.simulated],
+                applied=chosen.name,
+            )
+        assert self._active is not None
+        return self._active
+
+    def describe(self) -> str:
+        return (
+            f"portfolio(n={len(self.selector.smart) + len(self.selector.stale) + len(self.selector.poor)}, "
+            f"period={self.selection_period}, delta={self.selector.time_constraint}s)"
+        )
+
+
+class RandomScheduler(Scheduler):
+    """Selection-ablation baseline: pick a random policy each period.
+
+    Shares the portfolio and period semantics with
+    :class:`PortfolioScheduler` but skips the online simulation entirely —
+    the gap between the two isolates the value of informed selection.
+    """
+
+    def __init__(
+        self,
+        portfolio: Sequence[CombinedPolicy] | None = None,
+        selection_period: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.portfolio = list(portfolio) if portfolio is not None else build_portfolio()
+        if not self.portfolio:
+            raise ValueError("portfolio must not be empty")
+        self.selection_period = int(selection_period)
+        self.rng = np.random.default_rng(seed)
+        self._active: CombinedPolicy | None = None
+        self._last_tick: int | None = None
+
+    def active_policy(
+        self,
+        tick_index: int,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> CombinedPolicy:
+        due = (
+            self._active is None
+            or self._last_tick is None
+            or tick_index - self._last_tick >= self.selection_period
+        )
+        if due and queue:
+            self._active = self.portfolio[int(self.rng.integers(len(self.portfolio)))]
+            self._last_tick = tick_index
+        assert self._active is not None
+        return self._active
+
+    def describe(self) -> str:
+        return f"random(n={len(self.portfolio)})"
+
+
+class RoundRobinScheduler(Scheduler):
+    """Selection-ablation baseline: cycle through the portfolio."""
+
+    def __init__(
+        self,
+        portfolio: Sequence[CombinedPolicy] | None = None,
+        selection_period: int = 1,
+    ) -> None:
+        self.portfolio = list(portfolio) if portfolio is not None else build_portfolio()
+        if not self.portfolio:
+            raise ValueError("portfolio must not be empty")
+        self.selection_period = int(selection_period)
+        self._index = -1
+        self._active: CombinedPolicy | None = None
+        self._last_tick: int | None = None
+
+    def active_policy(
+        self,
+        tick_index: int,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> CombinedPolicy:
+        due = (
+            self._active is None
+            or self._last_tick is None
+            or tick_index - self._last_tick >= self.selection_period
+        )
+        if due and queue:
+            self._index = (self._index + 1) % len(self.portfolio)
+            self._active = self.portfolio[self._index]
+            self._last_tick = tick_index
+        assert self._active is not None
+        return self._active
+
+    def describe(self) -> str:
+        return f"round-robin(n={len(self.portfolio)})"

@@ -1,0 +1,199 @@
+"""Time-constrained portfolio simulation (paper §4, Algorithm 1).
+
+Simulating all 60 policies at every scheduling decision can blow the
+sub-second budget, so policies live in three sets:
+
+* **Smart** — top scorers of the previous invocation,
+* **Stale** — policies not simulated last time (ordered by staleness),
+* **Poor**  — previous low scorers, sampled randomly (a policy that is
+  poor today can win tomorrow when the workload shifts).
+
+Each invocation splits the time constraint Δ proportionally to the set
+sizes, simulates Smart then Stale sequentially and Poor randomly until
+the budget runs out, then rebuilds the sets: the top λ (=0.6) fraction of
+the simulated policies becomes the new Smart set, the rest joins Poor,
+and whatever went unsimulated becomes Stale.  The sets stabilise at
+‖Smart‖=λK, ‖Stale‖=λ(N−K), ‖Poor‖=(1−λ)N for K policies simulatable
+within Δ (paper's informal proof, §4) — property-tested in this repo.
+
+The per-policy cost ``c_i`` comes from a pluggable
+:class:`~repro.sim.clock.CostClock`: wall time in production, or the
+paper's deterministic 10 ms per policy for the §6.5 experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cloud.profile import CloudProfile
+from repro.core.online_sim import OnlineSimulator, SimOutcome
+from repro.policies.combined import CombinedPolicy
+from repro.sim.clock import CostClock, WallCostClock
+from repro.workload.job import Job
+
+__all__ = ["PolicyScore", "TimeConstrainedSelector", "SelectionOutcome"]
+
+
+@dataclass(slots=True, frozen=True)
+class PolicyScore:
+    """One simulated policy with its utility score and charged cost."""
+
+    policy: CombinedPolicy
+    score: float
+    cost: float
+    outcome: SimOutcome
+
+
+@dataclass(slots=True, frozen=True)
+class SelectionOutcome:
+    """The result of one Algorithm 1 invocation (selection + telemetry)."""
+
+    best: CombinedPolicy
+    simulated: tuple[PolicyScore, ...]
+    budget: float
+    spent: float
+
+    @property
+    def n_simulated(self) -> int:
+        return len(self.simulated)
+
+
+class TimeConstrainedSelector:
+    """Algorithm 1: select the best policy within a time constraint Δ.
+
+    Parameters
+    ----------
+    portfolio:
+        The candidate policies (all start in Smart, per the paper).
+    simulator:
+        The online simulator used as the selection mapping.
+    time_constraint:
+        Δ in seconds (paper explores 0.02–0.6 s; 0.2 s suffices).
+    lam:
+        λ, the fraction of simulated policies promoted to Smart (0.6).
+    cost_clock:
+        How ``c_i`` is measured (wall clock by default).
+    rng:
+        Source of the random picks from Poor (seed it for replays).
+    """
+
+    def __init__(
+        self,
+        portfolio: Sequence[CombinedPolicy],
+        simulator: OnlineSimulator | None = None,
+        time_constraint: float = 0.2,
+        lam: float = 0.6,
+        cost_clock: CostClock | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not portfolio:
+            raise ValueError("portfolio must not be empty")
+        if time_constraint <= 0:
+            raise ValueError(f"time_constraint must be positive, got {time_constraint}")
+        if not 0.0 < lam <= 1.0:
+            raise ValueError(f"lambda must lie in (0, 1], got {lam}")
+        self.simulator = simulator or OnlineSimulator()
+        self.time_constraint = float(time_constraint)
+        self.lam = float(lam)
+        self.cost_clock = cost_clock or WallCostClock()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.smart: list[CombinedPolicy] = list(portfolio)
+        self.stale: list[CombinedPolicy] = []
+        self.poor: list[CombinedPolicy] = []
+        self.invocations = 0
+        self.total_simulated = 0
+
+    # ------------------------------------------------------------------
+
+    def _simulate(
+        self,
+        policy: CombinedPolicy,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> PolicyScore:
+        begin = time.perf_counter()
+        outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
+        wall = time.perf_counter() - begin
+        cost = self.cost_clock.measure(wall, outcome.steps)
+        return PolicyScore(policy=policy, score=outcome.score, cost=cost, outcome=outcome)
+
+    def select(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> SelectionOutcome:
+        """Run Algorithm 1 once and return the chosen policy.
+
+        Follows the paper's pseudo-code exactly: quota split (lines 1-2),
+        sequential Smart and Stale phases (3-12), leftover-funded random
+        Poor phase (13-19), set rebuild (20-23), best-first return (24).
+        """
+        delta = self.time_constraint
+        n_total = len(self.smart) + len(self.stale) + len(self.poor)
+        d1 = len(self.smart) / n_total * delta
+        d2 = len(self.stale) / n_total * delta
+        d3 = delta - (d1 + d2)
+        simulated: list[PolicyScore] = []
+        spent = 0.0
+
+        def run(policy: CombinedPolicy) -> float:
+            ps = self._simulate(policy, queue, waits, runtimes, profile)
+            simulated.append(ps)
+            return ps.cost
+
+        # Phase 2a: Smart, in order, while its quota lasts.
+        while self.smart and d1 > 0:
+            cost = run(self.smart.pop(0))
+            d1 -= cost
+            spent += cost
+
+        # Phase 2b: Stale, in staleness order, while its quota lasts.
+        while self.stale and d2 > 0:
+            cost = run(self.stale.pop(0))
+            d2 -= cost
+            spent += cost
+
+        # Phase 2c: Poor, random picks, funded by its quota plus leftovers.
+        d3 = d3 + d2 + d1
+        while self.poor and d3 > 0:
+            idx = int(self.rng.integers(len(self.poor)))
+            cost = run(self.poor.pop(idx))
+            d3 -= cost
+            spent += cost
+
+        # Phase 3: rebuild the sets.
+        # Unsimulated Smart policies age into the end of Stale.
+        self.stale.extend(self.smart)
+        self.smart = []
+        simulated.sort(key=lambda ps: -ps.score)
+        if simulated:
+            k = max(1, round(self.lam * len(simulated)))
+            self.smart = [ps.policy for ps in simulated[:k]]
+            self.poor.extend(ps.policy for ps in simulated[k:])
+            best = simulated[0].policy
+        else:  # Δ smaller than any single simulation cost: fall back.
+            best = (self.stale or self.poor)[0]
+
+        self.invocations += 1
+        self.total_simulated += len(simulated)
+        return SelectionOutcome(
+            best=best,
+            simulated=tuple(simulated),
+            budget=delta,
+            spent=spent,
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def set_sizes(self) -> tuple[int, int, int]:
+        """Current (‖Smart‖, ‖Stale‖, ‖Poor‖) — the stabilisation property."""
+        return (len(self.smart), len(self.stale), len(self.poor))

@@ -1,0 +1,21 @@
+"""Experiment harness: the trace-replay cluster engine plus one driver per
+paper table/figure (see DESIGN.md §4 for the index).
+"""
+
+from repro.experiments.engine import ClusterEngine, EngineConfig, ExperimentResult
+from repro.experiments.runner import (
+    best_policy_per_cluster,
+    run_fixed,
+    run_portfolio,
+    run_provisioning_clusters,
+)
+
+__all__ = [
+    "ClusterEngine",
+    "EngineConfig",
+    "ExperimentResult",
+    "best_policy_per_cluster",
+    "run_fixed",
+    "run_portfolio",
+    "run_provisioning_clusters",
+]

@@ -1,0 +1,85 @@
+"""Statistical robustness of the headline claim.
+
+The paper reports single-run improvements; with synthetic traces we can
+do better: re-run the Fig. 4 comparison across independent seeds and
+report the mean improvement with a bootstrap confidence interval.  This
+is the evidence that "the portfolio beats its best constituent" is a
+property of the method, not of one lucky trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.compare import compare_trace
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale
+from repro.workload.synthetic import TraceSpec
+
+__all__ = ["SeedStudy", "multi_seed_improvements", "bootstrap_ci"]
+
+
+@dataclass(slots=True, frozen=True)
+class SeedStudy:
+    """Improvement of the portfolio over the best constituent, per seed."""
+
+    trace: str
+    seeds: tuple[int, ...]
+    improvements: tuple[float, ...]
+
+    def mean(self) -> float:
+        return float(np.mean(self.improvements))
+
+    def ci95(self, resamples: int = 2_000, seed: int = 0) -> tuple[float, float]:
+        return bootstrap_ci(self.improvements, resamples=resamples, seed=seed)
+
+    def row(self) -> dict[str, object]:
+        lo, hi = self.ci95()
+        return {
+            "trace": self.trace,
+            "seeds": len(self.seeds),
+            "mean improvement": f"{self.mean() * 100:+.1f}%",
+            "95% CI": f"[{lo * 100:+.1f}%, {hi * 100:+.1f}%]",
+            "wins": sum(1 for i in self.improvements if i > 0),
+        }
+
+
+def bootstrap_ci(
+    values: tuple[float, ...] | list[float],
+    resamples: int = 2_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of the mean of *values*."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    arr = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    means = rng.choice(arr, size=(resamples, arr.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+def multi_seed_improvements(
+    spec: TraceSpec,
+    seeds: tuple[int, ...] = (42, 43, 44),
+    predictor: str = "oracle",
+    scale: ExperimentScale | None = None,
+) -> SeedStudy:
+    """The Fig. 4 improvement for *spec* across several trace seeds."""
+    scale = scale or DEFAULT_SCALE
+    improvements = []
+    for seed in seeds:
+        seeded = ExperimentScale(
+            compare_duration=scale.compare_duration,
+            sweep_duration=scale.sweep_duration,
+            seed=seed,
+        )
+        cmp = compare_trace(spec, predictor, seeded)
+        improvements.append(cmp.improvement())
+    return SeedStudy(
+        trace=spec.name, seeds=tuple(seeds), improvements=tuple(improvements)
+    )

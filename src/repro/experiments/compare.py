@@ -1,0 +1,126 @@
+"""The Figs. 4/7/8 comparison: portfolio scheduling vs. the best
+constituent policy of every provisioning cluster, under three runtime
+information regimes (accurate / k-NN predicted / user estimated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import PortfolioScheduler
+from repro.core.utility import UtilityFunction
+from repro.experiments.cache import cached_fixed_run, cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale, portfolio_kwargs
+from repro.experiments.engine import ExperimentResult
+from repro.policies.combined import CombinedPolicy, build_portfolio
+from repro.policies.provisioning import PROVISIONING_POLICIES
+from repro.workload.synthetic import TRACES, TraceSpec
+
+__all__ = ["ClusterBest", "TraceComparison", "compare_trace", "comparison_rows"]
+
+
+@dataclass(slots=True, frozen=True)
+class ClusterBest:
+    """The winning allocation policy of one provisioning cluster."""
+
+    cluster: str
+    policy: CombinedPolicy
+    result: ExperimentResult
+
+    @property
+    def label(self) -> str:
+        """Figure label, e.g. ``ODA-*`` with the winner in the caption."""
+        return f"{self.cluster}-*"
+
+
+@dataclass(slots=True, frozen=True)
+class TraceComparison:
+    """Everything Figs. 4/7/8 plot for one trace."""
+
+    trace: str
+    predictor: str
+    clusters: tuple[ClusterBest, ...]
+    portfolio: ExperimentResult
+    scheduler: PortfolioScheduler
+
+    def best_constituent(self) -> ClusterBest:
+        return max(self.clusters, key=lambda cb: cb.result.utility)
+
+    def improvement(self) -> float:
+        """Portfolio utility gain over the best constituent (fraction)."""
+        base = self.best_constituent().result.utility
+        if base <= 0:
+            return 0.0
+        return self.portfolio.utility / base - 1.0
+
+
+def compare_trace(
+    spec: TraceSpec,
+    predictor: str = "oracle",
+    scale: ExperimentScale | None = None,
+    utility: UtilityFunction | None = None,
+) -> TraceComparison:
+    """Run the full 60-policy grid plus the portfolio on one trace."""
+    scale = scale or DEFAULT_SCALE
+    score = utility or UtilityFunction()
+    duration, seed = scale.compare_duration, scale.seed
+
+    best: dict[str, ClusterBest] = {}
+    for policy in build_portfolio():
+        result = cached_fixed_run(spec, duration, seed, policy, predictor)
+        cluster = policy.provisioning.name
+        incumbent = best.get(cluster)
+        if incumbent is None or result.utility > incumbent.result.utility:
+            best[cluster] = ClusterBest(cluster=cluster, policy=policy, result=result)
+
+    portfolio_result, scheduler = cached_portfolio_run(
+        spec, duration, seed, predictor, **portfolio_kwargs()
+    )
+    ordered = tuple(best[p.name] for p in PROVISIONING_POLICIES)
+    return TraceComparison(
+        trace=spec.name,
+        predictor=predictor,
+        clusters=ordered,
+        portfolio=portfolio_result,
+        scheduler=scheduler,
+    )
+
+
+def comparison_rows(
+    predictor: str = "oracle", scale: ExperimentScale | None = None
+) -> list[dict[str, object]]:
+    """Flattened rows for all four traces (one figure's table)."""
+    rows: list[dict[str, object]] = []
+    for spec in TRACES:
+        cmp = compare_trace(spec, predictor, scale)
+        for cb in cmp.clusters:
+            m = cb.result.metrics
+            rows.append(
+                {
+                    "trace": spec.name,
+                    "scheduler": cb.policy.name,
+                    "BSD": round(m.avg_bounded_slowdown, 3),
+                    "cost[VMh]": round(m.charged_hours, 1),
+                    "utility": round(cb.result.utility, 3),
+                }
+            )
+        pm = cmp.portfolio.metrics
+        rows.append(
+            {
+                "trace": spec.name,
+                "scheduler": "PORTFOLIO",
+                "BSD": round(pm.avg_bounded_slowdown, 3),
+                "cost[VMh]": round(pm.charged_hours, 1),
+                "utility": round(cmp.portfolio.utility, 3),
+            }
+        )
+        rows.append(
+            {
+                "trace": spec.name,
+                "scheduler": ">> improvement over best constituent",
+                "BSD": "",
+                "cost[VMh]": "",
+                "utility": f"{cmp.improvement() * 100:+.1f}%",
+            }
+        )
+    return rows

@@ -1,0 +1,517 @@
+"""The cluster engine: trace-driven simulation of long-term execution on
+IaaS-cloud resources (the paper's extended-DGSim environment, §5.1).
+
+The engine replays a trace against a :class:`~repro.cloud.provider.CloudProvider`
+under a :class:`~repro.core.scheduler.Scheduler`:
+
+* jobs arrive and queue;
+* every 20 s scheduling tick (lazily scheduled — the tick chain pauses
+  while the queue is empty), the scheduler's active policy provisions VMs
+  and allocates queued jobs onto idle ones;
+* VMs boot for 120 s, are billed by the hour, and idle VMs are terminated
+  at their next hourly boundary unless the active policy keeps them;
+* jobs run to completion, exclusively, without preemption or migration.
+
+Allocation and provisioning use the *same* ``CombinedPolicy`` methods as
+the online simulator, so what the portfolio scheduler simulates is what
+the engine executes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cloud.failures import FailureModel
+from repro.cloud.profile import CloudProfile
+from repro.cloud.provider import CloudProvider, ProviderConfig
+from repro.cloud.vm import VM, VMState
+from repro.core.scheduler import PortfolioScheduler, Scheduler
+from repro.metrics.collector import JobRecord, MetricsCollector, SummaryMetrics
+from repro.policies.base import IdleVM, SchedContext
+from repro.policies.combined import CombinedPolicy
+from repro.predict.base import RuntimePredictor
+from repro.predict.simple import OraclePredictor
+from repro.sim.events import Event, EventKind
+from repro.sim.kernel import Simulator
+from repro.workload.job import Job, JobState
+
+__all__ = ["EngineConfig", "ExperimentResult", "ClusterEngine"]
+
+
+@dataclass(slots=True, frozen=True)
+class EngineConfig:
+    """Engine parameters (defaults = the paper's experimental setup).
+
+    ``release_rule`` controls when idle VMs are terminated:
+
+    * ``"eager"`` (paper semantics): as soon as queued demand no longer
+      needs them — this is what makes naive provisioning expensive
+      ("charged for an entire hour may be released after just a few
+      minutes of use", §3.1) and gives the portfolio cost structure to
+      exploit;
+    * ``"boundary"``: only at the next hourly billing boundary (a
+      keep-paid-capacity ablation; see DESIGN.md §7).
+    """
+
+    tick: float = 20.0
+    provider: ProviderConfig = field(default_factory=ProviderConfig)
+    max_sim_time: float | None = None  # safety horizon; None = trace-derived
+    release_rule: str = "eager"
+    #: Reserved instances (extension, see DESIGN.md §7): this many VMs are
+    #: committed for the whole run at ``reserved_discount`` of the
+    #: on-demand rate, are always part of the fleet, and are never
+    #: released.  0 reproduces the paper's pure on-demand setup.
+    reserved_vms: int = 0
+    reserved_discount: float = 0.4
+    #: Optional VM failure injection (extension): on-demand VMs die after
+    #: an exponential lifetime; a running job is killed and re-queued from
+    #: scratch.  ``None`` (default) = the paper's reliable-VM model.
+    failures: "FailureModel | None" = None
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError(f"tick must be positive, got {self.tick}")
+        if self.release_rule not in ("eager", "boundary"):
+            raise ValueError(
+                f"release_rule must be 'eager' or 'boundary', got {self.release_rule!r}"
+            )
+        if self.reserved_vms < 0:
+            raise ValueError(f"reserved_vms must be >= 0, got {self.reserved_vms}")
+        if self.reserved_vms > self.provider.max_vms:
+            raise ValueError("reserved_vms cannot exceed the provider cap")
+        if not 0.0 < self.reserved_discount <= 1.0:
+            raise ValueError(
+                f"reserved_discount must lie in (0, 1], got {self.reserved_discount}"
+            )
+
+
+@dataclass(slots=True, frozen=True)
+class ExperimentResult:
+    """Everything a figure driver needs from one run."""
+
+    metrics: SummaryMetrics
+    records: tuple[JobRecord, ...]
+    scheduler_desc: str
+    portfolio_invocations: int
+    unfinished_jobs: int
+    sim_events: int
+    ticks: int
+    wall_seconds: float
+    end_time: float
+    failures: int = 0
+    wasted_cpu_seconds: float = 0.0
+
+    @property
+    def utility(self) -> float:
+        """Utility with the paper's default κ=100, α=β=1 (figure axes)."""
+        from repro.core.utility import UtilityFunction
+
+        m = self.metrics
+        return UtilityFunction()(m.rj_seconds, m.rv_seconds, m.avg_bounded_slowdown)
+
+
+class ClusterEngine:
+    """One end-to-end experiment: (trace, scheduler, predictor) → metrics."""
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        scheduler: Scheduler,
+        predictor: RuntimePredictor | None = None,
+        config: EngineConfig | None = None,
+        observer: "Callable[[object], None] | None" = None,
+        dependencies: "dict[int, tuple[int, ...]] | None" = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.scheduler = scheduler
+        if (
+            isinstance(scheduler, PortfolioScheduler)
+            and scheduler.simulator.release_rule != self.config.release_rule
+        ):
+            raise ValueError(
+                "the portfolio scheduler's online simulator assumes release "
+                f"rule {scheduler.simulator.release_rule!r} but the engine "
+                f"uses {self.config.release_rule!r}; they must match or the "
+                "simulated policies diverge from what the engine executes"
+            )
+        self.predictor = predictor or OraclePredictor()
+        self.observer = observer
+        self.provider = CloudProvider(self.config.provider)
+        self.metrics = MetricsCollector()
+
+        max_vms = self.config.provider.max_vms
+        for job in jobs:
+            if job.procs > max_vms:
+                raise ValueError(
+                    f"job {job.job_id} needs {job.procs} VMs but the provider "
+                    f"cap is {max_vms}: it could never run"
+                )
+        # Fresh copies: the engine owns all dynamic state.
+        self.jobs = [job.fresh_copy() for job in jobs]
+        self.jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+
+        self.queue: list[Job] = []
+        self._jobs_by_id = {job.job_id: job for job in self.jobs}
+        self._vms_of_job: dict[int, list[VM]] = {}
+        self._boundary_events: dict[int, Event] = {}
+        self._finish_events: dict[int, Event] = {}
+        self._tick_event: Event | None = None
+        self._tick_index = 0
+        self._last_policy: CombinedPolicy | None = None
+        self._finished = 0
+        self._failure_sampler = (
+            self.config.failures.sampler() if self.config.failures else None
+        )
+        self.failures = 0
+        self.wasted_cpu_seconds = 0.0
+
+        # Workflow support: jobs with unmet dependencies are held back and
+        # become eligible (submit time reset to the release instant, so
+        # waits measure time-after-eligibility) when their last parent
+        # finishes.
+        self._deps_remaining: dict[int, int] = {}
+        self._children: dict[int, list[int]] = {}
+        self._held: set[int] = set()
+        if dependencies:
+            for child, parents in dependencies.items():
+                if child not in self._jobs_by_id:
+                    raise ValueError(f"dependency child {child} is not in the trace")
+                unmet = 0
+                for parent in parents:
+                    if parent not in self._jobs_by_id:
+                        raise ValueError(
+                            f"job {child} depends on unknown job {parent}"
+                        )
+                    self._children.setdefault(parent, []).append(child)
+                    unmet += 1
+                if unmet:
+                    self._deps_remaining[child] = unmet
+            self._check_acyclic(dependencies)
+
+        self.sim = Simulator()
+        self.sim.on(EventKind.JOB_ARRIVAL, self._on_arrival)
+        self.sim.on(EventKind.SCHEDULE_TICK, self._on_tick)
+        self.sim.on(EventKind.VM_READY, self._on_vm_ready)
+        self.sim.on(EventKind.VM_BOUNDARY, self._on_vm_boundary)
+        self.sim.on(EventKind.JOB_FINISH, self._on_job_finish)
+        self.sim.on(EventKind.VM_FAIL, self._on_vm_fail)
+
+    @staticmethod
+    def _check_acyclic(dependencies: "dict[int, tuple[int, ...]]") -> None:
+        """Kahn's algorithm over the dependency edges; cycles deadlock the
+        run, so reject them up front."""
+        indegree: dict[int, int] = {}
+        children: dict[int, list[int]] = {}
+        nodes: set[int] = set()
+        for child, parents in dependencies.items():
+            nodes.add(child)
+            for parent in parents:
+                nodes.add(parent)
+                children.setdefault(parent, []).append(child)
+                indegree[child] = indegree.get(child, 0) + 1
+        frontier = [n for n in nodes if indegree.get(n, 0) == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for child in children.get(node, ()):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if visited != len(nodes):
+            raise ValueError("dependency graph contains a cycle")
+
+    # -- event handlers -----------------------------------------------------
+
+    def _on_arrival(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        if self._deps_remaining.get(job.job_id, 0) > 0:
+            self._held.add(job.job_id)  # waits for its parents to finish
+            return
+        self._enqueue(sim, job)
+
+    def _enqueue(self, sim: Simulator, job: Job) -> None:
+        job.state = JobState.QUEUED
+        self.queue.append(job)
+        if self._tick_event is None:
+            # Wake the scheduling chain; same-timestamp arrivals batch into
+            # this tick because SCHEDULE_TICK sorts after JOB_ARRIVAL.
+            self._tick_event = sim.schedule_at(sim.now, EventKind.SCHEDULE_TICK)
+
+    def _build_context(self, now: float) -> SchedContext:
+        waits = [now - job.submit_time for job in self.queue]
+        runtimes = [max(self.predictor.predict(job), 1.0) for job in self.queue]
+        rented = self.provider.leased_count()
+        busy_vms = self.provider.busy_vms()
+        # Estimated free times for planning policies (EASY backfilling):
+        # job start + *predicted* runtime — the scheduler never sees
+        # actual runtimes.
+        frees = []
+        for vm in busy_vms:
+            job = self._jobs_by_id.get(vm.job_id) if vm.job_id is not None else None
+            if job is not None and job.start_time >= 0:
+                frees.append(job.start_time + max(self.predictor.predict(job), 1.0))
+            else:  # pragma: no cover - defensive
+                frees.append(now)
+        return SchedContext(
+            now=now,
+            queue=self.queue,
+            waits=waits,
+            runtimes=runtimes,
+            rented=rented,
+            available=rented - len(busy_vms),
+            busy=len(busy_vms),
+            max_vms=self.provider.config.max_vms,
+            busy_free_times=frees,
+        )
+
+    def _on_tick(self, sim: Simulator, event: Event) -> None:
+        self._tick_event = None
+        if not self.queue:
+            return  # chain pauses; the next arrival restarts it
+        now = sim.now
+        ctx = self._build_context(now)
+        profile = CloudProfile.capture(self.provider, now)
+        policy = self.scheduler.active_policy(
+            self._tick_index, self.queue, ctx.waits, ctx.runtimes, profile
+        )
+        self._last_policy = policy
+        self._tick_index += 1
+        if self.observer is not None:
+            from repro.metrics.timeseries import TimeseriesSample
+
+            self.observer(
+                TimeseriesSample(
+                    time=now,
+                    queue_length=len(self.queue),
+                    queued_procs=ctx.total_queued_procs(),
+                    fleet=self.provider.leased_count(),
+                    idle=len(self.provider.idle_vms()),
+                    booting=len(self.provider.booting_vms()),
+                    busy=ctx.busy,
+                    active_policy=policy.name,
+                )
+            )
+
+        # Provisioning.
+        n_new = policy.new_vms(ctx)
+        if n_new > 0:
+            for vm in self.provider.lease(n_new, now):
+                sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
+                self._arm_failure(sim, vm)
+
+        # Allocation.
+        idle = self.provider.idle_vms()
+        if idle and self.queue:
+            period = self.provider.billing.period
+            views = [
+                IdleVM(vm_id=vm.vm_id, remaining_paid=self.provider.remaining_paid(vm, now) or period)
+                for vm in idle
+            ]
+            by_id = {vm.vm_id: vm for vm in idle}
+            allocations = policy.allocate(ctx, views, period)
+            started: list[Job] = []
+            for alloc in allocations:
+                job = self.queue[alloc.queue_index]
+                finish = now + job.runtime
+                vms = [by_id[vid] for vid in alloc.vm_ids]
+                for vm in vms:
+                    self._cancel_boundary(vm)
+                    vm.assign(job.job_id, finish)
+                self._vms_of_job[job.job_id] = vms
+                job.state = JobState.RUNNING
+                job.start_time = now
+                self._finish_events[job.job_id] = sim.schedule_at(
+                    finish, EventKind.JOB_FINISH, job
+                )
+                started.append(job)
+            if started:
+                started_ids = {job.job_id for job in started}
+                self.queue = [j for j in self.queue if j.job_id not in started_ids]
+
+        self._release_surplus(sim)
+        if self.queue:
+            self._tick_event = sim.schedule_after(self.config.tick, EventKind.SCHEDULE_TICK)
+
+    def _on_vm_ready(self, sim: Simulator, event: Event) -> None:
+        vm: VM = event.payload
+        if not vm.alive:
+            return
+        vm.boot_complete(sim.now)
+        self._schedule_boundary(sim, vm)
+        self._release_surplus(sim)
+
+    def _on_vm_boundary(self, sim: Simulator, event: Event) -> None:
+        vm: VM = event.payload
+        self._boundary_events.pop(vm.vm_id, None)
+        if not vm.alive or vm.state is not VMState.IDLE or vm.reserved:
+            return
+        ctx = self._build_context(sim.now)
+        keep = (
+            self._last_policy.provisioning.keep_idle_vm(ctx, 0.0)
+            if self._last_policy is not None
+            else ctx.total_queued_procs() > ctx.available - 1
+        )
+        if keep:
+            self._schedule_boundary(sim, vm)
+        else:
+            self.provider.terminate(vm, sim.now)
+
+    def _on_vm_fail(self, sim: Simulator, event: Event) -> None:
+        vm: VM = event.payload
+        if not vm.alive:
+            return  # already terminated; stale failure event
+        self.failures += 1
+        now = sim.now
+        if vm.state is VMState.BUSY:
+            assert vm.job_id is not None
+            job = self._jobs_by_id[vm.job_id]
+            # the whole rigid job dies with the VM; partial work is wasted
+            self.wasted_cpu_seconds += job.procs * max(0.0, now - job.start_time)
+            pending_finish = self._finish_events.pop(job.job_id, None)
+            if pending_finish is not None:
+                pending_finish.cancel()
+            for peer in self._vms_of_job.pop(job.job_id, []):
+                peer.release_job()
+                if peer is not vm:
+                    self._schedule_boundary(sim, peer)
+            job.state = JobState.QUEUED
+            job.start_time = -1.0
+            self.queue.append(job)
+            if self._tick_event is None:
+                self._tick_event = sim.schedule_at(now, EventKind.SCHEDULE_TICK)
+        self._cancel_boundary(vm)
+        self.provider.terminate(vm, now)
+
+    def _arm_failure(self, sim: Simulator, vm: VM) -> None:
+        """Draw the VM's lifetime and schedule its failure (if modelled)."""
+        if self._failure_sampler is None or vm.reserved:
+            return
+        when = sim.now + self._failure_sampler.time_to_failure()
+        sim.schedule_at(when, EventKind.VM_FAIL, vm)
+
+    def _on_job_finish(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        self._finish_events.pop(job.job_id, None)
+        job.state = JobState.FINISHED
+        job.finish_time = sim.now
+        self._finished += 1
+        self.metrics.record_completion(job)
+        self.predictor.observe_completion(job)
+        for vm in self._vms_of_job.pop(job.job_id, []):
+            vm.release_job()
+            self._schedule_boundary(sim, vm)
+        # Release workflow children whose last parent just finished.  Their
+        # submit time becomes the eligibility instant so slowdown measures
+        # scheduler-caused delay, not time spent waiting on parents.
+        for child_id in self._children.get(job.job_id, ()):
+            remaining = self._deps_remaining[child_id] - 1
+            self._deps_remaining[child_id] = remaining
+            if remaining == 0 and child_id in self._held:
+                self._held.discard(child_id)
+                child = self._jobs_by_id[child_id]
+                child.submit_time = max(child.submit_time, sim.now)
+                self._enqueue(sim, child)
+        self._release_surplus(sim)
+
+    def _release_surplus(self, sim: Simulator) -> None:
+        """Eager release: terminate idle VMs the queue no longer needs.
+
+        Surplus = idle − queued demand.  Booting VMs deliberately do NOT
+        count as supply here: counting them would release each VM the
+        moment it finishes booting while the demand that triggered its
+        lease still queues — a lease/boot/release livelock.  Idle VMs with
+        the least paid time remaining go first (they waste the least).
+        No-op under the "boundary" rule, where VM_BOUNDARY events decide.
+        """
+        if self.config.release_rule != "eager":
+            return
+        idle = [vm for vm in self.provider.idle_vms() if not vm.reserved]
+        if not idle:
+            return
+        now = self.sim.now
+        demand = sum(job.procs for job in self.queue)
+        # Reserved idle VMs serve demand first, so on-demand surplus is
+        # measured against what they cannot cover.
+        reserved_idle = sum(
+            1 for vm in self.provider.idle_vms() if vm.reserved
+        )
+        surplus = max(0, len(idle) - max(0, demand - reserved_idle))
+        if surplus <= 0:
+            return
+        idle.sort(key=lambda vm: self.provider.remaining_paid(vm, now))
+        for vm in idle[:surplus]:
+            self._cancel_boundary(vm)
+            self.provider.terminate(vm, now)
+
+    # -- boundary-event bookkeeping -------------------------------------------
+
+    def _schedule_boundary(self, sim: Simulator, vm: VM) -> None:
+        self._cancel_boundary(vm)
+        when = self.provider.next_boundary(vm, sim.now)
+        self._boundary_events[vm.vm_id] = sim.schedule_at(
+            when, EventKind.VM_BOUNDARY, vm
+        )
+
+    def _cancel_boundary(self, vm: VM) -> None:
+        pending = self._boundary_events.pop(vm.vm_id, None)
+        if pending is not None:
+            pending.cancel()
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        """Replay the whole trace and drain the system; return the metrics."""
+        began = time.perf_counter()
+        if self.config.reserved_vms:
+            for vm in self.provider.lease(
+                self.config.reserved_vms, now=0.0, reserved=True
+            ):
+                self.sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
+        for job in self.jobs:
+            self.sim.schedule_at(job.submit_time, EventKind.JOB_ARRIVAL, job)
+
+        horizon = self.config.max_sim_time
+        if horizon is None and self.jobs:
+            last = max(j.submit_time for j in self.jobs)
+            total_work = sum(j.runtime * j.procs for j in self.jobs)
+            # Generous drain window: even a single VM clears the backlog in
+            # total_work seconds; the cap only exists to break pathological
+            # custom policies out of infinite stalls.
+            horizon = last + total_work + 30 * 86_400.0
+        self.sim.run(until=horizon)
+
+        # Natural end: the last completion.  The simulator clock sits at
+        # the safety horizon after a drained run, and billing reserved (or
+        # straggler) capacity up to that sentinel would charge for weeks
+        # of non-existent workload.  A stalled run (unfinished jobs) keeps
+        # the horizon end, which correctly penalises the stall.
+        if self._finished == len(self.jobs) and self.metrics.records:
+            end = max(r.finish_time for r in self.metrics.records)
+        else:
+            end = self.sim.now
+        self.provider.terminate_all(end)
+        if self.config.reserved_vms:
+            self.provider.finalize_reserved(end, self.config.reserved_discount)
+        unfinished = len(self.jobs) - self._finished
+        metrics = self.metrics.summarize(self.provider.charged_seconds_total)
+        invocations = (
+            self.scheduler.invocations
+            if isinstance(self.scheduler, PortfolioScheduler)
+            else 0
+        )
+        return ExperimentResult(
+            metrics=metrics,
+            records=tuple(self.metrics.records),
+            scheduler_desc=self.scheduler.describe(),
+            portfolio_invocations=invocations,
+            unfinished_jobs=unfinished,
+            sim_events=self.sim.events_processed,
+            ticks=self._tick_index,
+            wall_seconds=time.perf_counter() - began,
+            end_time=end,
+            failures=self.failures,
+            wasted_cpu_seconds=self.wasted_cpu_seconds,
+        )

@@ -1,0 +1,83 @@
+"""Result export: JSON and CSV serialisation of experiment outputs.
+
+Figures in the paper are plots; this repository's artifacts are tables.
+For users who want to re-plot with their own tooling, every
+:class:`~repro.experiments.engine.ExperimentResult` and every driver's
+row list can be dumped losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.experiments.engine import ExperimentResult
+
+__all__ = ["result_to_dict", "dump_result_json", "rows_to_csv", "dump_rows_csv"]
+
+
+def result_to_dict(result: ExperimentResult, include_records: bool = False) -> dict:
+    """Flatten a result to plain JSON-safe types."""
+    m = result.metrics
+    out: dict = {
+        "scheduler": result.scheduler_desc,
+        "jobs": m.jobs,
+        "avg_bounded_slowdown": m.avg_bounded_slowdown,
+        "rj_seconds": m.rj_seconds,
+        "rv_seconds": m.rv_seconds,
+        "utilization": m.utilization,
+        "charged_hours": m.charged_hours,
+        "avg_wait_seconds": m.avg_wait,
+        "max_wait_seconds": m.max_wait,
+        "utility": result.utility,
+        "portfolio_invocations": result.portfolio_invocations,
+        "unfinished_jobs": result.unfinished_jobs,
+        "sim_events": result.sim_events,
+        "ticks": result.ticks,
+        "end_time": result.end_time,
+        "failures": result.failures,
+        "wasted_cpu_seconds": result.wasted_cpu_seconds,
+    }
+    if include_records:
+        out["records"] = [
+            {
+                "job_id": r.job_id,
+                "submit": r.submit_time,
+                "start": r.start_time,
+                "finish": r.finish_time,
+                "runtime": r.runtime,
+                "procs": r.procs,
+                "wait": r.wait,
+                "slowdown": r.slowdown,
+            }
+            for r in result.records
+        ]
+    return out
+
+
+def dump_result_json(
+    result: ExperimentResult, path: str | Path, include_records: bool = False
+) -> None:
+    """Write a result as pretty-printed JSON."""
+    payload = result_to_dict(result, include_records=include_records)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Serialise driver rows (list of same-keyed dicts) as CSV text."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def dump_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> None:
+    """Write driver rows as a CSV file."""
+    Path(path).write_text(rows_to_csv(rows), encoding="utf-8")

@@ -1,0 +1,27 @@
+"""Figure 4: portfolio scheduling vs. best constituent policies, with
+accurate job runtimes."""
+
+from __future__ import annotations
+
+from repro.experiments.compare import comparison_rows
+from repro.metrics.report import format_table
+
+__all__ = ["fig4_rows", "main"]
+
+
+def fig4_rows() -> list[dict[str, object]]:
+    return comparison_rows(predictor="oracle")
+
+
+def main() -> None:
+    print(
+        format_table(
+            fig4_rows(),
+            title="Figure 4 — portfolio vs best constituent per cluster "
+            "(accurate runtimes)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 5: the ratio of invocations of the scheduling policies.
+
+Reuses the Fig. 4 portfolio runs (same cache keys) and reads their
+reflection stores at the paper's three granularities: all 60 policies,
+provisioning × job-selection (20 groups), and provisioning only (5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale, portfolio_kwargs
+from repro.metrics.report import format_table
+from repro.workload.synthetic import TRACES
+
+__all__ = ["fig5_ratios", "fig5_rows", "main"]
+
+
+def fig5_ratios(
+    parts: int, scale: ExperimentScale | None = None, predictor: str = "oracle"
+) -> dict[str, dict[str, float]]:
+    """Per trace: invocation ratio grouped to *parts* name components
+    (3 = full 60 policies, 2 = Fig. 5b, 1 = Fig. 5c)."""
+    scale = scale or DEFAULT_SCALE
+    out: dict[str, dict[str, float]] = {}
+    for spec in TRACES:
+        _, scheduler = cached_portfolio_run(
+            spec, scale.compare_duration, scale.seed, predictor, **portfolio_kwargs()
+        )
+        out[spec.name] = scheduler.reflection.grouped_ratio(parts)
+    return out
+
+
+def fig5_rows(scale: ExperimentScale | None = None) -> list[dict[str, object]]:
+    """Dominant policies per trace at each granularity (the figure's story)."""
+    rows: list[dict[str, object]] = []
+    for parts, label in ((1, "provisioning"), (2, "prov+jobsel"), (3, "full policy")):
+        for trace, ratios in fig5_ratios(parts, scale).items():
+            top = sorted(ratios.items(), key=lambda kv: -kv[1])[:3]
+            rows.append(
+                {
+                    "granularity": label,
+                    "trace": trace,
+                    "top-1": f"{top[0][0]} ({top[0][1]:.0%})" if top else "",
+                    "top-2": f"{top[1][0]} ({top[1][1]:.0%})" if len(top) > 1 else "",
+                    "top-3": f"{top[2][0]} ({top[2][1]:.0%})" if len(top) > 2 else "",
+                    "distinct": len(ratios),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_table(fig5_rows(), title="Figure 5 — policy invocation ratios"))
+
+
+if __name__ == "__main__":
+    main()

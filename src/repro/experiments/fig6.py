@@ -1,0 +1,73 @@
+"""Figure 6: the effect of the utility-function parameters α and β.
+
+Top row of the figure: β = 1 fixed, cost-efficiency α ∈ {1..4} plus the
+extreme β = 0 (cost-only).  Bottom row: α = 1 fixed, task-urgency
+β ∈ {1..4} plus α = 0 (slowdown-only).  The driver reports job slowdown
+and charged cost of the portfolio under each setting.
+"""
+
+from __future__ import annotations
+
+from repro.core.utility import UtilityFunction
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale, portfolio_kwargs
+from repro.metrics.report import format_table
+from repro.workload.synthetic import TRACES
+
+__all__ = ["ALPHA_SETTINGS", "BETA_SETTINGS", "fig6_rows", "main"]
+
+#: (label, alpha, beta) for the top row: α varies, β anchored at 1 (β=0 extreme).
+ALPHA_SETTINGS: tuple[tuple[str, float, float], ...] = (
+    ("a1b1", 1.0, 1.0),
+    ("a2b1", 2.0, 1.0),
+    ("a3b1", 3.0, 1.0),
+    ("a4b1", 4.0, 1.0),
+    ("b0", 1.0, 0.0),
+)
+
+#: Bottom row: β varies, α anchored at 1 (α=0 extreme).
+BETA_SETTINGS: tuple[tuple[str, float, float], ...] = (
+    ("a1b1", 1.0, 1.0),
+    ("a1b2", 1.0, 2.0),
+    ("a1b3", 1.0, 3.0),
+    ("a1b4", 1.0, 4.0),
+    ("a0", 0.0, 1.0),
+)
+
+
+def fig6_rows(
+    scale: ExperimentScale | None = None,
+    settings: tuple[tuple[str, float, float], ...] | None = None,
+) -> list[dict[str, object]]:
+    scale = scale or DEFAULT_SCALE
+    chosen = settings if settings is not None else ALPHA_SETTINGS + BETA_SETTINGS[1:]
+    rows: list[dict[str, object]] = []
+    for label, alpha, beta in chosen:
+        for spec in TRACES:
+            result, _ = cached_portfolio_run(
+                spec,
+                scale.sweep_duration,
+                scale.seed,
+                "oracle",
+                **portfolio_kwargs(utility=UtilityFunction(alpha=alpha, beta=beta)),
+            )
+            m = result.metrics
+            rows.append(
+                {
+                    "setting": label,
+                    "alpha": alpha,
+                    "beta": beta,
+                    "trace": spec.name,
+                    "BSD": round(m.avg_bounded_slowdown, 3),
+                    "cost[VMh]": round(m.charged_hours, 1),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_table(fig6_rows(), title="Figure 6 — utility parameter sweep"))
+
+
+if __name__ == "__main__":
+    main()

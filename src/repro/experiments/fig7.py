@@ -1,0 +1,26 @@
+"""Figure 7: the Fig. 4 comparison with k-NN *predicted* runtimes."""
+
+from __future__ import annotations
+
+from repro.experiments.compare import comparison_rows
+from repro.metrics.report import format_table
+
+__all__ = ["fig7_rows", "main"]
+
+
+def fig7_rows() -> list[dict[str, object]]:
+    return comparison_rows(predictor="knn")
+
+
+def main() -> None:
+    print(
+        format_table(
+            fig7_rows(),
+            title="Figure 7 — portfolio vs best constituent per cluster "
+            "(k-NN predicted runtimes)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

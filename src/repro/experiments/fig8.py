@@ -1,0 +1,26 @@
+"""Figure 8: the Fig. 4 comparison with raw *user-estimated* runtimes."""
+
+from __future__ import annotations
+
+from repro.experiments.compare import comparison_rows
+from repro.metrics.report import format_table
+
+__all__ = ["fig8_rows", "main"]
+
+
+def fig8_rows() -> list[dict[str, object]]:
+    return comparison_rows(predictor="user")
+
+
+def main() -> None:
+    print(
+        format_table(
+            fig8_rows(),
+            title="Figure 8 — portfolio vs best constituent per cluster "
+            "(user-estimated runtimes)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

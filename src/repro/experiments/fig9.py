@@ -1,0 +1,66 @@
+"""Figure 9: the impact of the portfolio selection period.
+
+The selection period is a whole multiple {1, 2, 4, 8, 16} of the 20 s
+scheduling tick; all series are normalized to the period-1 run, exactly
+like the paper's axes (slowdown, cost, utility, #invocations).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale, portfolio_kwargs
+from repro.metrics.report import format_table
+from repro.workload.synthetic import TRACES
+
+__all__ = ["PERIODS", "fig9_rows", "main"]
+
+PERIODS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+def fig9_rows(scale: ExperimentScale | None = None) -> list[dict[str, object]]:
+    scale = scale or DEFAULT_SCALE
+    rows: list[dict[str, object]] = []
+    for spec in TRACES:
+        base = None
+        for period in PERIODS:
+            result, _ = cached_portfolio_run(
+                spec,
+                scale.sweep_duration,
+                scale.seed,
+                "oracle",
+                **portfolio_kwargs(selection_period=period),
+            )
+            m = result.metrics
+            point = {
+                "bsd": m.avg_bounded_slowdown,
+                "cost": m.charged_hours,
+                "utility": result.utility,
+                "invocations": result.portfolio_invocations,
+            }
+            if base is None:
+                base = point
+            rows.append(
+                {
+                    "trace": spec.name,
+                    "period": period,
+                    "norm BSD": round(point["bsd"] / base["bsd"], 3) if base["bsd"] else 0.0,
+                    "norm cost": round(point["cost"] / base["cost"], 3) if base["cost"] else 0.0,
+                    "norm utility": round(point["utility"] / base["utility"], 3)
+                    if base["utility"]
+                    else 0.0,
+                    "norm invocations": round(
+                        point["invocations"] / base["invocations"], 3
+                    )
+                    if base["invocations"]
+                    else 0.0,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_table(fig9_rows(), title="Figure 9 — selection period sweep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Regenerate every paper artifact in one go.
+
+``python -m repro.experiments.fig_all [output_dir]`` writes each
+table/figure as both text and CSV.  The benchmark suite does the same
+with assertions; this driver is the no-pytest path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, table1
+from repro.experiments.export import dump_rows_csv
+from repro.metrics.report import format_table
+
+__all__ = ["main", "ARTIFACTS"]
+
+#: name → zero-arg callable returning printable rows.
+ARTIFACTS = {
+    "table1": table1.table1_rows,
+    "fig3": fig3.fig3_rows,
+    "fig4": fig4.fig4_rows,
+    "fig5": fig5.fig5_rows,
+    "fig6": fig6.fig6_rows,
+    "fig7": fig7.fig7_rows,
+    "fig8": fig8.fig8_rows,
+    "fig9": fig9.fig9_rows,
+    "fig10": fig10.fig10_rows,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    out_dir = Path(args[0]) if args else Path("artifacts")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, rows_fn in ARTIFACTS.items():
+        began = time.perf_counter()
+        rows = rows_fn()
+        text = format_table(rows, title=name)
+        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        dump_rows_csv(rows, out_dir / f"{name}.csv")
+        print(f"{name}: {len(rows)} rows in {time.perf_counter() - began:.1f}s "
+              f"-> {out_dir}/{name}.{{txt,csv}}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Performance metrics (the paper's performance space Y, §2).
+
+* bounded job slowdown (bound = 10 s) — user experience,
+* RJ — total consumed CPU·seconds of jobs,
+* RV — total *charged* VM·seconds (hour-rounded) = monetary cost,
+* utilization RJ/RV — efficiency,
+* the utility U = κ·(RJ/RV)^α·(1/BSD)^β that portfolio selection optimises.
+"""
+
+from repro.metrics.collector import JobRecord, MetricsCollector, SummaryMetrics
+from repro.metrics.report import format_table, normalize_series
+from repro.metrics.slowdown import bounded_slowdown
+
+__all__ = [
+    "JobRecord",
+    "MetricsCollector",
+    "SummaryMetrics",
+    "bounded_slowdown",
+    "format_table",
+    "normalize_series",
+]

@@ -1,0 +1,123 @@
+"""Per-job records and experiment-level metric aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.slowdown import bounded_slowdown
+from repro.workload.job import Job
+
+__all__ = ["JobRecord", "SummaryMetrics", "MetricsCollector"]
+
+HOUR = 3_600.0
+
+
+@dataclass(slots=True, frozen=True)
+class JobRecord:
+    """Immutable completion record of one job."""
+
+    job_id: int
+    submit_time: float
+    start_time: float
+    finish_time: float
+    runtime: float
+    procs: int
+
+    @property
+    def wait(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def response(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        return bounded_slowdown(self.wait, self.runtime)
+
+    @property
+    def area(self) -> float:
+        return self.procs * self.runtime
+
+
+@dataclass(slots=True, frozen=True)
+class SummaryMetrics:
+    """The numbers every figure in the paper plots.
+
+    ``rv_seconds`` is the charged cost (already hour-rounded by the
+    billing model); ``charged_hours`` expresses it the way the paper's
+    cost axes do.
+    """
+
+    jobs: int
+    avg_bounded_slowdown: float
+    rj_seconds: float
+    rv_seconds: float
+    avg_wait: float
+    max_wait: float
+
+    @property
+    def utilization(self) -> float:
+        """RJ / RV; 0 when nothing was charged."""
+        return self.rj_seconds / self.rv_seconds if self.rv_seconds > 0 else 0.0
+
+    @property
+    def charged_hours(self) -> float:
+        return self.rv_seconds / HOUR
+
+    def row(self) -> dict[str, float]:
+        """Flatten for report tables."""
+        return {
+            "jobs": self.jobs,
+            "BSD": round(self.avg_bounded_slowdown, 3),
+            "cost[VMh]": round(self.charged_hours, 1),
+            "util": round(self.utilization, 3),
+            "avg_wait[s]": round(self.avg_wait, 1),
+        }
+
+
+class MetricsCollector:
+    """Accumulates :class:`JobRecord` completions during a run."""
+
+    def __init__(self) -> None:
+        self.records: list[JobRecord] = []
+
+    def record_completion(self, job: Job) -> JobRecord:
+        """Book a finished job (requires start/finish times to be set)."""
+        if job.start_time < 0 or job.finish_time < 0:
+            raise ValueError(f"job {job.job_id} has not completed")
+        rec = JobRecord(
+            job_id=job.job_id,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            finish_time=job.finish_time,
+            runtime=job.runtime,
+            procs=job.procs,
+        )
+        self.records.append(rec)
+        return rec
+
+    def summarize(self, rv_seconds: float) -> SummaryMetrics:
+        """Final metrics given the provider's total charged seconds."""
+        if not self.records:
+            return SummaryMetrics(
+                jobs=0,
+                avg_bounded_slowdown=1.0,
+                rj_seconds=0.0,
+                rv_seconds=rv_seconds,
+                avg_wait=0.0,
+                max_wait=0.0,
+            )
+        slowdowns = np.array([r.slowdown for r in self.records])
+        waits = np.array([r.wait for r in self.records])
+        rj = float(sum(r.area for r in self.records))
+        return SummaryMetrics(
+            jobs=len(self.records),
+            avg_bounded_slowdown=float(slowdowns.mean()),
+            rj_seconds=rj,
+            rv_seconds=rv_seconds,
+            avg_wait=float(waits.mean()),
+            max_wait=float(waits.max()),
+        )

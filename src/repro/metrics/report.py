@@ -1,0 +1,54 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every table/figure benchmark prints its reproduced rows through
+:func:`format_table`, so ``pytest benchmarks/ --benchmark-only -s`` shows
+the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "normalize_series"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], title: str = "", floatfmt: str = ".3f"
+) -> str:
+    """Render *rows* (list of dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[cell(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), max(len(r[i]) for r in table)) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def normalize_series(values: Sequence[float], reference: float | None = None) -> list[float]:
+    """Divide *values* by *reference* (default: the first value).
+
+    The paper's Figs. 9-10 plot everything normalized to the smallest
+    parameter setting; this helper reproduces those axes.  A zero
+    reference yields zeros rather than dividing by zero.
+    """
+    if not values:
+        return []
+    ref = values[0] if reference is None else reference
+    if ref == 0:
+        return [0.0 for _ in values]
+    return [v / ref for v in values]

@@ -1,0 +1,95 @@
+"""Time-series instrumentation of a running experiment.
+
+The paper's figures report end-of-run aggregates; understanding *why* a
+policy wins usually needs the dynamics — queue depth, fleet size, how
+many VMs sit idle.  :class:`TimeseriesRecorder` plugs into
+:class:`~repro.experiments.engine.ClusterEngine` as an observer and
+samples those signals at every scheduling tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimeseriesRecorder", "TimeseriesSample", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(slots=True, frozen=True)
+class TimeseriesSample:
+    """One scheduling-tick snapshot."""
+
+    time: float
+    queue_length: int
+    queued_procs: int
+    fleet: int
+    idle: int
+    booting: int
+    busy: int
+    active_policy: str
+
+
+@dataclass(slots=True)
+class TimeseriesRecorder:
+    """Collects :class:`TimeseriesSample` rows; pass as engine observer."""
+
+    samples: list[TimeseriesSample] = field(default_factory=list)
+
+    def __call__(self, sample: TimeseriesSample) -> None:
+        self.samples.append(sample)
+
+    # -- accessors ----------------------------------------------------------
+
+    def series(self, attr: str) -> np.ndarray:
+        """One attribute as an array, e.g. ``series("queue_length")``."""
+        return np.array([getattr(s, attr) for s in self.samples], dtype=float)
+
+    def times(self) -> np.ndarray:
+        return self.series("time")
+
+    def peak_queue(self) -> int:
+        return int(self.series("queue_length").max()) if self.samples else 0
+
+    def peak_fleet(self) -> int:
+        return int(self.series("fleet").max()) if self.samples else 0
+
+    def mean_idle_fraction(self) -> float:
+        """Average share of the fleet sitting idle at decision points."""
+        if not self.samples:
+            return 0.0
+        fleet = self.series("fleet")
+        idle = self.series("idle")
+        mask = fleet > 0
+        if not mask.any():
+            return 0.0
+        return float((idle[mask] / fleet[mask]).mean())
+
+    def policy_switches(self) -> int:
+        """How many times the applied policy changed between ticks."""
+        names = [s.active_policy for s in self.samples]
+        return sum(1 for a, b in zip(names, names[1:]) if a != b)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Render *values* as a coarse ASCII sparkline of *width* characters.
+
+    Values are max-pooled into buckets so spikes stay visible.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    buckets = np.array_split(values, min(width, values.size))
+    pooled = np.array([b.max() for b in buckets])
+    top = pooled.max()
+    if top <= 0:
+        return " " * len(pooled)
+    levels = np.minimum(
+        (pooled / top * (len(_SPARK_CHARS) - 1)).round().astype(int),
+        len(_SPARK_CHARS) - 1,
+    )
+    return "".join(_SPARK_CHARS[i] for i in levels)

@@ -1,0 +1,67 @@
+"""The policy portfolio: 5 provisioning × 4 job-selection × 3 VM-selection
+policies = 60 combined scheduling policies (paper §3.1).
+
+Provisioning decides *how many* VMs to lease; job selection decides *which
+queued job* runs next; VM selection decides *which idle VMs* it runs on.
+:func:`build_portfolio` enumerates all 60 combinations in the paper's
+canonical order ({ODA,ODB,ODE,ODM,ODX} × {FCFS,LXF,UNICEF,WFP3} ×
+{BestFit,FirstFit,WorstFit}).
+"""
+
+from repro.policies.base import (
+    JobSelectionPolicy,
+    ProvisioningPolicy,
+    SchedContext,
+    VMSelectionPolicy,
+)
+from repro.policies.combined import (
+    CombinedPolicy,
+    build_portfolio,
+    policy_by_name,
+)
+from repro.policies.job_selection import (
+    FCFS,
+    LXF,
+    UNICEF,
+    WFP3,
+    JOB_SELECTION_POLICIES,
+)
+from repro.policies.provisioning import (
+    ODA,
+    ODB,
+    ODE,
+    ODM,
+    ODX,
+    PROVISIONING_POLICIES,
+)
+from repro.policies.vm_selection import (
+    VM_SELECTION_POLICIES,
+    BestFit,
+    FirstFit,
+    WorstFit,
+)
+
+__all__ = [
+    "BestFit",
+    "CombinedPolicy",
+    "FCFS",
+    "FirstFit",
+    "JOB_SELECTION_POLICIES",
+    "JobSelectionPolicy",
+    "LXF",
+    "ODA",
+    "ODB",
+    "ODE",
+    "ODM",
+    "ODX",
+    "PROVISIONING_POLICIES",
+    "ProvisioningPolicy",
+    "SchedContext",
+    "UNICEF",
+    "VMSelectionPolicy",
+    "VM_SELECTION_POLICIES",
+    "WFP3",
+    "WorstFit",
+    "build_portfolio",
+    "policy_by_name",
+]

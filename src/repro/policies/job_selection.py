@@ -1,0 +1,83 @@
+"""The four job-selection (queue ordering) policies (paper §3.1, after
+Tang et al.'s utility-based priority functions).
+
+All four compute a priority per queued job from its wait time ``q``,
+runtime estimate ``t`` and parallelism ``n``; the queue is served in
+descending priority with no backfilling (a job that does not fit blocks
+the rest — the paper defers backfilling to future work).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.policies.base import JobSelectionPolicy, SchedContext
+
+__all__ = ["FCFS", "LXF", "WFP3", "UNICEF", "JOB_SELECTION_POLICIES"]
+
+#: Guard for priority formulae dividing by runtime: treat sub-second
+#: estimates as one second so priorities stay finite.
+_MIN_RUNTIME = 1.0
+
+
+class FCFS(JobSelectionPolicy):
+    """First-Come-First-Serve (baseline): p_i = q_i."""
+
+    name = "FCFS"
+
+    def priorities(self, ctx: SchedContext) -> list[float]:
+        return [float(w) for w in ctx.waits]
+
+
+class LXF(JobSelectionPolicy):
+    """Largest-Slowdown-First: p_i = (q_i + t_i) / t_i.
+
+    Favors short jobs, which suffer relatively more from a given wait.
+    """
+
+    name = "LXF"
+
+    def priorities(self, ctx: SchedContext) -> list[float]:
+        return [
+            (w + max(t, _MIN_RUNTIME)) / max(t, _MIN_RUNTIME)
+            for w, t in zip(ctx.waits, ctx.runtimes)
+        ]
+
+
+class WFP3(JobSelectionPolicy):
+    """WFP3: p_i = (q_i / t_i)^3 · n_i — cubed slowdown pressure, scaled by
+    parallelism so large jobs are not starved."""
+
+    name = "WFP3"
+
+    def priorities(self, ctx: SchedContext) -> list[float]:
+        return [
+            (w / max(t, _MIN_RUNTIME)) ** 3 * job.procs
+            for job, w, t in zip(ctx.queue, ctx.waits, ctx.runtimes)
+        ]
+
+
+class UNICEF(JobSelectionPolicy):
+    """UNICEF: p_i = q_i / (log2(n_i) · t_i) — quick response for small,
+    short jobs (the opposite extreme from WFP3).
+
+    ``log2(n)`` is floored at 1 so sequential jobs (n=1) keep a finite,
+    maximal parallelism bonus instead of dividing by zero.
+    """
+
+    name = "UNICEF"
+
+    def priorities(self, ctx: SchedContext) -> list[float]:
+        return [
+            w / (max(1.0, math.log2(job.procs)) * max(t, _MIN_RUNTIME))
+            for job, w, t in zip(ctx.queue, ctx.waits, ctx.runtimes)
+        ]
+
+
+#: The job-selection policies in the paper's canonical order.
+JOB_SELECTION_POLICIES: tuple[JobSelectionPolicy, ...] = (
+    FCFS(),
+    LXF(),
+    UNICEF(),
+    WFP3(),
+)

@@ -1,0 +1,77 @@
+"""The three VM-selection policies (paper §3.1, classic bin-packing
+heuristics applied to idle VMs).
+
+Idle VMs differ only in the paid time remaining until their next hourly
+charge, so the policies rank on what a job would leave behind:
+
+* **FirstFit** — no ranking; take idle VMs in id order (fastest).
+* **BestFit** — minimise paid time left after the job (waste least).
+* **WorstFit** — maximise it (keep VMs "fresh" for future large jobs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policies.base import IdleVM, VMSelectionPolicy
+
+__all__ = ["FirstFit", "BestFit", "WorstFit", "VM_SELECTION_POLICIES"]
+
+
+def _check_count(idle: Sequence[IdleVM], count: int) -> None:
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count > len(idle):
+        raise ValueError(f"need {count} VMs but only {len(idle)} idle")
+
+
+class FirstFit(VMSelectionPolicy):
+    """Take the first *count* idle VMs, no sorting."""
+
+    name = "FirstFit"
+
+    def select(
+        self, idle: Sequence[IdleVM], count: int, runtime: float, period: float
+    ) -> list[int]:
+        _check_count(idle, count)
+        return list(range(count))
+
+
+class BestFit(VMSelectionPolicy):
+    """Prefer VMs with the least paid time left after running the job."""
+
+    name = "BestFit"
+
+    def select(
+        self, idle: Sequence[IdleVM], count: int, runtime: float, period: float
+    ) -> list[int]:
+        _check_count(idle, count)
+        ranked = sorted(
+            range(len(idle)),
+            key=lambda i: (self.remaining_after(idle[i], runtime, period), i),
+        )
+        return ranked[:count]
+
+
+class WorstFit(VMSelectionPolicy):
+    """Prefer VMs with the most paid time left after running the job."""
+
+    name = "WorstFit"
+
+    def select(
+        self, idle: Sequence[IdleVM], count: int, runtime: float, period: float
+    ) -> list[int]:
+        _check_count(idle, count)
+        ranked = sorted(
+            range(len(idle)),
+            key=lambda i: (-self.remaining_after(idle[i], runtime, period), i),
+        )
+        return ranked[:count]
+
+
+#: The VM-selection policies in the paper's canonical order.
+VM_SELECTION_POLICIES: tuple[VMSelectionPolicy, ...] = (
+    BestFit(),
+    FirstFit(),
+    WorstFit(),
+)

@@ -1,0 +1,22 @@
+"""Job-runtime prediction (paper §3.2).
+
+Several portfolio policies (ODE, ODX, LXF, WFP3, UNICEF) and the online
+simulator itself consume job runtimes the scheduler cannot actually know.
+Three information regimes reproduce the paper's §6.1/§6.3 comparison:
+
+* :class:`OraclePredictor` — actual runtimes (Fig. 4),
+* :class:`KnnPredictor` — Tsafrir-style system prediction: the mean of the
+  user's two most recently *completed* jobs (Fig. 7),
+* :class:`UserEstimatePredictor` — raw user estimates (Fig. 8).
+"""
+
+from repro.predict.base import RuntimePredictor
+from repro.predict.knn import KnnPredictor
+from repro.predict.simple import OraclePredictor, UserEstimatePredictor
+
+__all__ = [
+    "KnnPredictor",
+    "OraclePredictor",
+    "RuntimePredictor",
+    "UserEstimatePredictor",
+]

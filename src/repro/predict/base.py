@@ -1,0 +1,33 @@
+"""Predictor interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.workload.job import Job
+
+__all__ = ["RuntimePredictor"]
+
+
+class RuntimePredictor(abc.ABC):
+    """Supplies the runtime estimate the scheduler plans with.
+
+    The engine calls :meth:`predict` for queued jobs and
+    :meth:`observe_completion` exactly once per finished job, in
+    completion order, so online predictors can learn.
+    """
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, job: Job) -> float:
+        """Planning runtime (seconds, > 0) for *job*."""
+
+    def observe_completion(self, job: Job) -> None:
+        """Called when *job* finishes (default: stateless, ignore)."""
+
+    def reset(self) -> None:
+        """Drop learned state (between experiment repetitions)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,169 @@
+"""Additional runtime predictors beyond the paper's k-NN.
+
+The paper points to more sophisticated prediction as orthogonal work
+(§3.2, citing Matsunaga & Fortes); these predictors plus
+:class:`PredictorEvaluation` make that comparison runnable here:
+
+* :class:`UserMeanPredictor` — running mean of ALL the user's completed
+  jobs (k-NN with k = ∞),
+* :class:`EwmaPredictor` — exponentially weighted moving average per
+  user (recent jobs matter more, but history never fully forgotten),
+* :class:`GlobalMedianPredictor` — median runtime across all users (a
+  user-agnostic baseline floor).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predict.base import RuntimePredictor
+from repro.predict.simple import UserEstimatePredictor
+from repro.workload.job import Job
+
+__all__ = [
+    "UserMeanPredictor",
+    "EwmaPredictor",
+    "GlobalMedianPredictor",
+    "PredictorEvaluation",
+    "evaluate_predictor",
+]
+
+
+class UserMeanPredictor(RuntimePredictor):
+    """Mean runtime of every completed job of the user."""
+
+    name = "user-mean"
+
+    def __init__(self, fallback: RuntimePredictor | None = None) -> None:
+        self.fallback = fallback or UserEstimatePredictor()
+        self._sum: dict[int, float] = {}
+        self._count: dict[int, int] = {}
+
+    def predict(self, job: Job) -> float:
+        count = self._count.get(job.user, 0)
+        if count == 0:
+            return max(self.fallback.predict(job), 1.0)
+        return max(self._sum[job.user] / count, 1.0)
+
+    def observe_completion(self, job: Job) -> None:
+        self._sum[job.user] = self._sum.get(job.user, 0.0) + job.runtime
+        self._count[job.user] = self._count.get(job.user, 0) + 1
+
+    def reset(self) -> None:
+        self._sum.clear()
+        self._count.clear()
+
+
+class EwmaPredictor(RuntimePredictor):
+    """Per-user exponentially weighted moving average of runtimes."""
+
+    name = "ewma"
+
+    def __init__(
+        self, alpha: float = 0.5, fallback: RuntimePredictor | None = None
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.fallback = fallback or UserEstimatePredictor()
+        self._ewma: dict[int, float] = {}
+
+    def predict(self, job: Job) -> float:
+        value = self._ewma.get(job.user)
+        if value is None:
+            return max(self.fallback.predict(job), 1.0)
+        return max(value, 1.0)
+
+    def observe_completion(self, job: Job) -> None:
+        prev = self._ewma.get(job.user)
+        if prev is None:
+            self._ewma[job.user] = job.runtime
+        else:
+            self._ewma[job.user] = self.alpha * job.runtime + (1 - self.alpha) * prev
+
+    def reset(self) -> None:
+        self._ewma.clear()
+
+
+class GlobalMedianPredictor(RuntimePredictor):
+    """Median runtime over every completed job, regardless of user."""
+
+    name = "global-median"
+
+    def __init__(self, fallback: RuntimePredictor | None = None) -> None:
+        self.fallback = fallback or UserEstimatePredictor()
+        self._sorted: list[float] = []
+
+    def predict(self, job: Job) -> float:
+        if not self._sorted:
+            return max(self.fallback.predict(job), 1.0)
+        n = len(self._sorted)
+        mid = n // 2
+        if n % 2:
+            median = self._sorted[mid]
+        else:
+            median = 0.5 * (self._sorted[mid - 1] + self._sorted[mid])
+        return max(median, 1.0)
+
+    def observe_completion(self, job: Job) -> None:
+        bisect.insort(self._sorted, job.runtime)
+
+    def reset(self) -> None:
+        self._sorted.clear()
+
+
+@dataclass(slots=True, frozen=True)
+class PredictorEvaluation:
+    """Accuracy statistics of one predictor over one trace.
+
+    ``accuracy`` follows Tsafrir et al.: mean of min(pred, actual) /
+    max(pred, actual) — 1.0 is perfect, and ≈0.5 is what the paper
+    reports for the k-NN predictor on PWA traces.
+    """
+
+    predictor: str
+    samples: int
+    accuracy: float
+    median_ratio: float  # predicted / actual, median
+    overestimate_fraction: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "predictor": self.predictor,
+            "samples": self.samples,
+            "accuracy": round(self.accuracy, 3),
+            "median pred/actual": round(self.median_ratio, 3),
+            "% over": round(self.overestimate_fraction * 100, 1),
+        }
+
+
+def evaluate_predictor(
+    predictor: RuntimePredictor, jobs: list[Job]
+) -> PredictorEvaluation:
+    """Feed *jobs* in submit order; score each prediction against truth.
+
+    This is an offline evaluation (predict-then-observe per job), which
+    matches how the scheduler consumes predictions closely enough for
+    ranking predictors.
+    """
+    ratios = []
+    accs = []
+    for job in sorted(jobs, key=lambda j: j.submit_time):
+        predicted = predictor.predict(job)
+        actual = max(job.runtime, 1.0)
+        ratios.append(predicted / actual)
+        accs.append(min(predicted, actual) / max(predicted, actual))
+        predictor.observe_completion(job)
+    if not ratios:
+        raise ValueError("cannot evaluate a predictor on an empty trace")
+    ratios_arr = np.array(ratios)
+    return PredictorEvaluation(
+        predictor=predictor.name,
+        samples=len(ratios),
+        accuracy=float(np.mean(accs)),
+        median_ratio=float(np.median(ratios_arr)),
+        overestimate_fraction=float((ratios_arr > 1.0).mean()),
+    )

@@ -1,0 +1,35 @@
+"""Stateless predictors: the oracle and raw user estimates."""
+
+from __future__ import annotations
+
+from repro.predict.base import RuntimePredictor
+from repro.workload.job import Job
+
+__all__ = ["OraclePredictor", "UserEstimatePredictor"]
+
+#: Fallback runtime when a job carries no usable estimate (seconds).
+DEFAULT_ESTIMATE = 3_600.0
+
+
+class OraclePredictor(RuntimePredictor):
+    """Returns the job's actual runtime (the paper's 'accurate runtime')."""
+
+    name = "oracle"
+
+    def predict(self, job: Job) -> float:
+        return max(job.runtime, 1.0)
+
+
+class UserEstimatePredictor(RuntimePredictor):
+    """Returns the user-supplied estimate, warts and all.
+
+    PWA estimates are typically large overestimates; jobs without an
+    estimate fall back to one hour (a common queue default).
+    """
+
+    name = "user-estimate"
+
+    def predict(self, job: Job) -> float:
+        if job.user_estimate > 0:
+            return job.user_estimate
+        return DEFAULT_ESTIMATE

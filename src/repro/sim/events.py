@@ -1,0 +1,79 @@
+"""Simulation events.
+
+Events carry a timestamp, a kind, an integer priority used to order
+same-time events deterministically, and an arbitrary payload.  The total
+order is ``(time, priority, seq)`` where ``seq`` is a monotonically
+increasing insertion counter, so two events never compare equal and heap
+ordering is stable and reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventKind"]
+
+_seq_counter = itertools.count()
+
+
+class EventKind(enum.IntEnum):
+    """Built-in event kinds used by the cluster engine.
+
+    The numeric value doubles as the default same-time priority: when
+    several events share a timestamp, job completions are processed first
+    (freeing VMs), then VM boots, then new arrivals, then scheduler ticks —
+    so a scheduling decision at time *t* always sees the full state of
+    time *t*.
+    """
+
+    JOB_FINISH = 0
+    VM_FAIL = 1
+    VM_READY = 2
+    JOB_ARRIVAL = 3
+    VM_BOUNDARY = 4
+    SCHEDULE_TICK = 5
+    GENERIC = 6
+
+
+@dataclass(slots=True)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Parameters
+    ----------
+    time:
+        Simulation timestamp (seconds).
+    kind:
+        The :class:`EventKind` determining same-time ordering.
+    payload:
+        Arbitrary data interpreted by the event consumer.
+    priority:
+        Same-time tie-break; defaults to ``int(kind)``.
+    """
+
+    time: float
+    kind: EventKind = EventKind.GENERIC
+    payload: Any = None
+    priority: int = -1
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+    cancelled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+        if self.priority < 0:
+            self.priority = int(self.kind)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The total order used by the event queue."""
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the queue drops it lazily on pop."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()

@@ -1,0 +1,166 @@
+"""Event queue and simulation loop.
+
+The kernel is deliberately minimal: a binary-heap :class:`EventQueue` with
+lazy cancellation, and a :class:`Simulator` that pops events in timestamp
+order and dispatches them to registered handlers.  Handlers may schedule
+further events; time never flows backwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.sim.events import Event, EventKind
+
+__all__ = ["EventQueue", "Simulator"]
+
+Handler = Callable[["Simulator", Event], None]
+
+
+class EventQueue:
+    """A time-ordered priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: :meth:`Event.cancel` marks the event, and the
+    queue silently discards cancelled entries when they surface.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events. O(n); meant for tests."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        """True if any live event remains (purges cancelled heap tops)."""
+        return self.peek_time() is not None
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and return it (for later cancellation)."""
+        if event.cancelled:
+            raise ValueError("cannot push a cancelled event")
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event*; equivalent to ``event.cancel()`` (kept for API
+        symmetry — cancellation is lazy either way)."""
+        event.cancel()
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every live event in order (useful in tests)."""
+        while self:
+            yield self.pop()
+
+
+class Simulator:
+    """The discrete-event simulation loop.
+
+    Handlers are registered per :class:`EventKind`; unhandled kinds raise,
+    which turns silently dropped events (a classic DES bug) into loud
+    failures.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> sim.on(EventKind.GENERIC, lambda s, e: seen.append((s.now, e.payload)))
+    >>> _ = sim.schedule(Event(5.0, payload="hi"))
+    >>> sim.run()
+    >>> seen
+    [(5.0, 'hi')]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self.queue = EventQueue()
+        self._handlers: dict[EventKind, Handler] = {}
+        self.events_processed = 0
+
+    def on(self, kind: EventKind, handler: Handler) -> None:
+        """Register *handler* for events of *kind* (one handler per kind)."""
+        self._handlers[kind] = handler
+
+    def schedule(self, event: Event) -> Event:
+        """Schedule *event*; it must not lie in the simulated past."""
+        if event.time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before current time {self.now}"
+            )
+        return self.queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Convenience wrapper building and scheduling an :class:`Event`."""
+        return self.schedule(Event(time, kind, payload))
+
+    def schedule_after(
+        self,
+        delay: float,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event *delay* seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, kind, payload)
+
+    def step(self) -> Event | None:
+        """Process a single event; return it, or ``None`` if the queue is empty."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        self.now = event.time
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise RuntimeError(f"no handler registered for event kind {event.kind!r}")
+        handler(self, event)
+        self.events_processed += 1
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, *until* is reached, or *max_events*.
+
+        ``until`` is inclusive: events stamped exactly ``until`` still run.
+        When the run stops because of ``until``, the clock is advanced to
+        ``until`` so post-run measurements see a consistent end time.
+        """
+        processed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = until

@@ -1,0 +1,44 @@
+"""Workload substrate: job model, SWF trace I/O, cleaning, statistics,
+and synthetic trace generation.
+
+The paper evaluates on four Parallel Workloads Archive traces (KTH-SP2,
+SDSC-SP2, DAS2-fs0, LPC-EGEE).  Those files cannot ship with this
+repository, so :mod:`repro.workload.synthetic` generates statistically
+faithful stand-ins calibrated to the published trace characteristics
+(Table 1) and arrival patterns (Figure 3); :mod:`repro.workload.swf`
+parses the real traces if you have them.
+"""
+
+from repro.workload.cleaning import CleaningReport, clean_jobs
+from repro.workload.job import Job, JobState
+from repro.workload.stats import TraceSummary, arrival_histogram, summarize_trace
+from repro.workload.swf import parse_swf, parse_swf_file, write_swf
+from repro.workload.synthetic import (
+    DAS2_FS0,
+    KTH_SP2,
+    LPC_EGEE,
+    SDSC_SP2,
+    TRACES,
+    TraceSpec,
+    generate_trace,
+)
+
+__all__ = [
+    "CleaningReport",
+    "DAS2_FS0",
+    "Job",
+    "JobState",
+    "KTH_SP2",
+    "LPC_EGEE",
+    "SDSC_SP2",
+    "TRACES",
+    "TraceSpec",
+    "TraceSummary",
+    "arrival_histogram",
+    "clean_jobs",
+    "generate_trace",
+    "parse_swf",
+    "parse_swf_file",
+    "summarize_trace",
+    "write_swf",
+]

@@ -1,0 +1,113 @@
+"""Parallel Workloads Archive (PWA) trace descriptors and loading.
+
+The paper's four traces are published in the PWA (Feitelson's archive).
+This repository cannot redistribute them, but if you download the
+``.swf`` files yourself this module loads them with exactly the paper's
+cleaning setup — system size, ≤64-processor filter — so results are
+directly comparable with the synthetic stand-ins.
+
+>>> jobs, report = load_pwa_trace("KTH-SP2-1996-2.1-cln.swf", KTH_SP2_ARCHIVE)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.workload.cleaning import CleaningReport, clean_jobs
+from repro.workload.job import Job
+from repro.workload.swf import parse_swf_file
+
+__all__ = [
+    "ArchiveTrace",
+    "KTH_SP2_ARCHIVE",
+    "SDSC_SP2_ARCHIVE",
+    "DAS2_FS0_ARCHIVE",
+    "LPC_EGEE_ARCHIVE",
+    "ARCHIVE_TRACES",
+    "load_pwa_trace",
+]
+
+_PWA_BASE = "https://www.cs.huji.ac.il/labs/parallel/workload"
+
+
+@dataclass(slots=True, frozen=True)
+class ArchiveTrace:
+    """Metadata of one PWA trace as the paper used it (Table 1)."""
+
+    name: str
+    archive_id: str  # PWA logs/ path component
+    system_procs: int
+    months: float
+    paper_jobs_total: int
+    paper_jobs_le64: int
+    paper_load: float
+
+    @property
+    def url(self) -> str:
+        """PWA page documenting (and linking) the trace."""
+        return f"{_PWA_BASE}/l_{self.archive_id}/index.html"
+
+
+KTH_SP2_ARCHIVE = ArchiveTrace(
+    name="KTH-SP2",
+    archive_id="kth_sp2",
+    system_procs=100,
+    months=11.0,
+    paper_jobs_total=28_480,
+    paper_jobs_le64=28_158,
+    paper_load=0.704,
+)
+
+SDSC_SP2_ARCHIVE = ArchiveTrace(
+    name="SDSC-SP2",
+    archive_id="sdsc_sp2",
+    system_procs=128,
+    months=24.0,
+    paper_jobs_total=53_911,
+    paper_jobs_le64=53_548,
+    paper_load=0.835,
+)
+
+DAS2_FS0_ARCHIVE = ArchiveTrace(
+    name="DAS2-fs0",
+    archive_id="das2",
+    system_procs=144,
+    months=12.0,
+    paper_jobs_total=215_638,
+    paper_jobs_le64=206_925,
+    paper_load=0.149,
+)
+
+LPC_EGEE_ARCHIVE = ArchiveTrace(
+    name="LPC-EGEE",
+    archive_id="lpc",
+    system_procs=140,
+    months=9.0,
+    paper_jobs_total=214_322,
+    paper_jobs_le64=214_322,
+    paper_load=0.208,
+)
+
+#: The paper's traces in presentation order.
+ARCHIVE_TRACES: tuple[ArchiveTrace, ...] = (
+    KTH_SP2_ARCHIVE,
+    SDSC_SP2_ARCHIVE,
+    DAS2_FS0_ARCHIVE,
+    LPC_EGEE_ARCHIVE,
+)
+
+
+def load_pwa_trace(
+    path: str | Path,
+    descriptor: ArchiveTrace,
+    max_procs: int | None = 64,
+) -> tuple[list[Job], CleaningReport]:
+    """Parse and clean a downloaded PWA trace with the paper's setup.
+
+    Applies the §5.2 rules against the descriptor's system size and the
+    ≤64-processor filter; returns the replay-ready jobs and the cleaning
+    report (compare ``report.kept`` with ``descriptor.paper_jobs_le64``).
+    """
+    raw = parse_swf_file(path)
+    return clean_jobs(raw, system_procs=descriptor.system_procs, max_procs=max_procs)

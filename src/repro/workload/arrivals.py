@@ -1,0 +1,238 @@
+"""Job arrival processes for synthetic traces.
+
+The four paper traces split into two arrival regimes (Fig. 3): *stable*
+(KTH-SP2, SDSC-SP2 — diurnal rhythm, few bursts) and *bursty* (DAS2-fs0,
+LPC-EGEE — long quiet stretches punctuated by intense submission bursts).
+We model both with standard workload-modelling building blocks:
+
+* :class:`PoissonArrivals` — homogeneous Poisson (baseline / tests).
+* :class:`DiurnalArrivals` — nonhomogeneous Poisson whose rate follows a
+  day/night (and optionally weekday/weekend) cycle, sampled by thinning.
+* :class:`BurstyArrivals` — a two-state Markov-modulated Poisson process
+  (quiet rate vs. burst rate with exponential sojourn times), optionally
+  modulated by the same diurnal cycle.
+
+All processes are deterministic given their RNG and generate arrivals
+strictly within ``[0, duration)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstyArrivals",
+    "DAY",
+    "WEEK",
+]
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates job arrival timestamps over a time horizon."""
+
+    @abc.abstractmethod
+    def sample(self, duration: float, rng: np.random.Generator) -> np.ndarray:
+        """Return a sorted float array of arrival times in ``[0, duration)``."""
+
+    @abc.abstractmethod
+    def mean_arrival_rate(self) -> float:
+        """Analytic long-run arrival rate in jobs/second (for calibration)."""
+
+    @staticmethod
+    def _homogeneous(
+        rate: float, duration: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample a homogeneous Poisson process of *rate* over *duration*."""
+        if rate <= 0 or duration <= 0:
+            return np.empty(0)
+        n = rng.poisson(rate * duration)
+        return np.sort(rng.uniform(0.0, duration, size=n))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` jobs/second."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.rate = float(rate)
+
+    def sample(self, duration: float, rng: np.random.Generator) -> np.ndarray:
+        return self._homogeneous(self.rate, duration, rng)
+
+    def mean_arrival_rate(self) -> float:
+        return self.rate
+
+
+def diurnal_factor(
+    t: float | np.ndarray,
+    day_amplitude: float = 0.6,
+    peak_hour: float = 14.0,
+    weekend_factor: float = 1.0,
+) -> float | np.ndarray:
+    """Multiplicative rate modulation at time(s) *t* (seconds from Monday 00:00).
+
+    A raised cosine peaking at ``peak_hour`` with relative swing
+    ``day_amplitude`` (0 = flat, 1 = rate touches zero at the trough),
+    scaled by ``weekend_factor`` on Saturday/Sunday.
+    """
+    t = np.asarray(t, dtype=float)
+    hour = (t % DAY) / 3600.0
+    factor = 1.0 + day_amplitude * np.cos((hour - peak_hour) / 24.0 * 2.0 * math.pi)
+    if weekend_factor != 1.0:
+        day_index = np.floor((t % WEEK) / DAY)
+        factor = np.where(day_index >= 5, factor * weekend_factor, factor)
+    return factor if factor.ndim else float(factor)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Nonhomogeneous Poisson arrivals with a day/night cycle (thinning).
+
+    Parameters
+    ----------
+    mean_rate:
+        Long-run average arrival rate, jobs/second.
+    day_amplitude:
+        Relative swing of the diurnal cycle in [0, 1].
+    peak_hour:
+        Local hour of maximum submission intensity.
+    weekend_factor:
+        Rate multiplier applied on Saturday/Sunday (< 1 = quieter weekends).
+    """
+
+    def __init__(
+        self,
+        mean_rate: float,
+        day_amplitude: float = 0.6,
+        peak_hour: float = 14.0,
+        weekend_factor: float = 0.7,
+    ) -> None:
+        if mean_rate < 0:
+            raise ValueError(f"mean_rate must be non-negative, got {mean_rate}")
+        if not 0.0 <= day_amplitude <= 1.0:
+            raise ValueError(f"day_amplitude must lie in [0,1], got {day_amplitude}")
+        if weekend_factor < 0:
+            raise ValueError("weekend_factor must be non-negative")
+        self.mean_rate = float(mean_rate)
+        self.day_amplitude = float(day_amplitude)
+        self.peak_hour = float(peak_hour)
+        self.weekend_factor = float(weekend_factor)
+
+    def _max_factor(self) -> float:
+        return (1.0 + self.day_amplitude) * max(1.0, self.weekend_factor)
+
+    def mean_arrival_rate(self) -> float:
+        # The cosine averages to 1 over a day; weekends scale 2 of 7 days.
+        return self.mean_rate * (5.0 + 2.0 * self.weekend_factor) / 7.0
+
+    @classmethod
+    def with_effective_rate(
+        cls,
+        target_rate: float,
+        day_amplitude: float = 0.6,
+        peak_hour: float = 14.0,
+        weekend_factor: float = 0.7,
+    ) -> "DiurnalArrivals":
+        """Build a process whose *long-run* rate equals ``target_rate``."""
+        factor = (5.0 + 2.0 * weekend_factor) / 7.0
+        return cls(target_rate / factor, day_amplitude, peak_hour, weekend_factor)
+
+    def sample(self, duration: float, rng: np.random.Generator) -> np.ndarray:
+        lam_max = self.mean_rate * self._max_factor()
+        candidates = self._homogeneous(lam_max, duration, rng)
+        if candidates.size == 0:
+            return candidates
+        factor = diurnal_factor(
+            candidates, self.day_amplitude, self.peak_hour, self.weekend_factor
+        )
+        accept = rng.uniform(0.0, 1.0, size=candidates.size) < (
+            self.mean_rate * np.asarray(factor) / lam_max
+        )
+        return candidates[accept]
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (quiet / burst).
+
+    The process alternates exponentially distributed quiet periods (mean
+    ``mean_quiet``) at ``quiet_rate`` with bursts (mean ``mean_burst``) at
+    ``burst_rate``.  With ``diurnal`` set, the quiet rate additionally
+    follows the work-hours cycle — matching LPC-EGEE, where bursts ride on
+    top of a visible diurnal baseline.
+    """
+
+    def __init__(
+        self,
+        quiet_rate: float,
+        burst_rate: float,
+        mean_quiet: float,
+        mean_burst: float,
+        diurnal: DiurnalArrivals | None = None,
+    ) -> None:
+        if min(quiet_rate, burst_rate) < 0:
+            raise ValueError("rates must be non-negative")
+        if min(mean_quiet, mean_burst) <= 0:
+            raise ValueError("mean sojourn times must be positive")
+        self.quiet_rate = float(quiet_rate)
+        self.burst_rate = float(burst_rate)
+        self.mean_quiet = float(mean_quiet)
+        self.mean_burst = float(mean_burst)
+        self.diurnal = diurnal
+
+    def mean_arrival_rate(self) -> float:
+        quiet = (
+            self.diurnal.mean_arrival_rate()
+            if self.diurnal is not None
+            else self.quiet_rate
+        )
+        cycle = self.mean_quiet + self.mean_burst
+        return (quiet * self.mean_quiet + self.burst_rate * self.mean_burst) / cycle
+
+    def sample(self, duration: float, rng: np.random.Generator) -> np.ndarray:
+        chunks: list[np.ndarray] = []
+        t = 0.0
+        in_burst = False
+        while t < duration:
+            mean = self.mean_burst if in_burst else self.mean_quiet
+            sojourn = rng.exponential(mean)
+            end = min(t + sojourn, duration)
+            span = end - t
+            if span > 0:
+                if in_burst:
+                    arr = self._homogeneous(self.burst_rate, span, rng) + t
+                elif self.diurnal is not None:
+                    # Thin at *absolute* time so the day/night phase is
+                    # preserved across quiet spans.
+                    d = self.diurnal
+                    lam_max = d.mean_rate * d._max_factor()
+                    cand = self._homogeneous(lam_max, span, rng) + t
+                    if cand.size:
+                        factor = diurnal_factor(
+                            cand, d.day_amplitude, d.peak_hour, d.weekend_factor
+                        )
+                        keep = rng.uniform(0.0, 1.0, size=cand.size) < (
+                            d.mean_rate * np.asarray(factor) / lam_max
+                        )
+                        arr = cand[keep]
+                    else:
+                        arr = cand
+                else:
+                    arr = self._homogeneous(self.quiet_rate, span, rng) + t
+                if arr.size:
+                    chunks.append(arr)
+            t = end
+            in_burst = not in_burst
+        if not chunks:
+            return np.empty(0)
+        out = np.concatenate(chunks)
+        out.sort()
+        return out[out < duration]

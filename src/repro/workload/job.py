@@ -1,0 +1,121 @@
+"""The job model.
+
+A :class:`Job` is a rigid parallel job: it requests ``procs`` processors
+for ``runtime`` seconds, runs exclusively on its VMs, and is neither
+preempted nor migrated (paper §5.1).  Static fields come from the trace;
+dynamic scheduling state (start/finish time) is filled in by the engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobState", "BOUNDED_SLOWDOWN_BOUND"]
+
+#: Lower bound (seconds) on runtime in the bounded-slowdown metric [Feitelson'04];
+#: the paper fixes it at 10 s (§2).
+BOUNDED_SLOWDOWN_BOUND = 10.0
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the engine."""
+
+    PENDING = "pending"  # not yet submitted (future arrival)
+    QUEUED = "queued"  # waiting in the scheduler queue
+    RUNNING = "running"  # executing on leased VMs
+    FINISHED = "finished"
+
+
+@dataclass(slots=True)
+class Job:
+    """A single rigid parallel job.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within a trace.
+    submit_time:
+        Arrival timestamp, seconds from trace start.
+    runtime:
+        Actual execution time in seconds (strictly positive after cleaning).
+    procs:
+        Number of processors (= single-core VMs) required, ≥ 1.
+    user:
+        Submitting user id; drives the k-NN runtime predictor.
+    user_estimate:
+        The user-supplied runtime estimate (seconds); ``-1`` if absent.
+    """
+
+    job_id: int
+    submit_time: float
+    runtime: float
+    procs: int
+    user: int = 0
+    user_estimate: float = -1.0
+
+    # Dynamic state, owned by the engine.
+    state: JobState = field(default=JobState.PENDING, compare=False)
+    start_time: float = field(default=-1.0, compare=False)
+    finish_time: float = field(default=-1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.procs < 0:
+            raise ValueError(f"job {self.job_id}: procs must be >= 0, got {self.procs}")
+        if self.runtime < 0:
+            raise ValueError(
+                f"job {self.job_id}: runtime must be >= 0, got {self.runtime}"
+            )
+        if self.submit_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: submit_time must be >= 0, got {self.submit_time}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    def wait_time(self, now: float | None = None) -> float:
+        """Time spent waiting in the queue.
+
+        For a started job this is ``start - submit``; for a queued job the
+        caller must supply ``now``.
+        """
+        if self.start_time >= 0:
+            return self.start_time - self.submit_time
+        if now is None:
+            raise ValueError(f"job {self.job_id} has not started; pass `now`")
+        return max(0.0, now - self.submit_time)
+
+    def response_time(self) -> float:
+        """Response time (finish − submit) of a finished job."""
+        if self.finish_time < 0:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.finish_time - self.submit_time
+
+    def bounded_slowdown(self, bound: float = BOUNDED_SLOWDOWN_BOUND) -> float:
+        """Bounded slowdown of a finished job: max(1, resp / max(runtime, bound))."""
+        return max(1.0, self.response_time() / max(self.runtime, bound))
+
+    def current_bounded_slowdown(
+        self, now: float, bound: float = BOUNDED_SLOWDOWN_BOUND
+    ) -> float:
+        """The ODX provisioning trigger: (wait + max(runtime, bound)) / max(runtime, bound).
+
+        Computed for a *queued* job as of time ``now`` (paper §3.1, ODX).
+        """
+        denom = max(self.runtime, bound)
+        return (self.wait_time(now) + denom) / denom
+
+    def area(self) -> float:
+        """Consumed CPU·seconds: procs × runtime (the job's share of RJ)."""
+        return self.procs * self.runtime
+
+    def fresh_copy(self) -> "Job":
+        """A copy with dynamic state reset (for reusing a trace across runs)."""
+        return Job(
+            job_id=self.job_id,
+            submit_time=self.submit_time,
+            runtime=self.runtime,
+            procs=self.procs,
+            user=self.user,
+            user_estimate=self.user_estimate,
+        )

@@ -1,0 +1,232 @@
+"""A Lublin–Feitelson-style rigid-job workload model.
+
+Lublin & Feitelson [JPDC'03] is the standard generative model for rigid
+parallel jobs; the paper's trace-driven methodology sits on workloads
+with exactly these marginals.  This module implements the model's
+*structure* with adjustable parameters:
+
+* **parallelism** — a job is serial with probability ``serial_prob``;
+  otherwise its log2-size is drawn from a two-stage uniform (a broad and
+  a narrow component) and snapped to a power of two with probability
+  ``pow2_prob``;
+* **runtime** — a hyper-gamma distribution: a mixture of two gamma
+  components (short/long) whose mixing probability depends *linearly on
+  the job's node count* (wide jobs run longer), the model's signature
+  feature;
+* **arrivals** — gamma-distributed interarrival times modulated by a
+  daily cycle.
+
+Parameter defaults give a plausible medium-size batch workload; users
+fitting a specific system should substitute their own fitted values (the
+dataclass makes every knob explicit).  For the four paper traces, prefer
+the directly calibrated models in :mod:`repro.workload.synthetic` — this
+model exists for generating *new* workloads with realistic structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import RngFactory
+from repro.workload.arrivals import diurnal_factor
+from repro.workload.estimates import RoundedEstimates
+from repro.workload.job import Job
+
+__all__ = ["LublinModel", "generate_lublin_trace"]
+
+
+@dataclass(slots=True, frozen=True)
+class LublinModel:
+    """Parameters of the generative model.
+
+    Attributes
+    ----------
+    max_procs:
+        System size; job sizes are capped here.
+    serial_prob:
+        Probability a job is serial (n = 1).
+    pow2_prob:
+        Probability a parallel job's size snaps to a power of two.
+    log_size_low / log_size_med / log_size_high:
+        The two-stage uniform on log2(size): with probability
+        ``log_size_stage1_prob`` draw from [low, med], else [med, high].
+    runtime_shape_short / runtime_scale_short:
+        Gamma component for short jobs (seconds).
+    runtime_shape_long / runtime_scale_long:
+        Gamma component for long jobs.
+    long_prob_base / long_prob_per_node:
+        P(long component) = clip(base + per_node · n, 0.05, 0.95) — wider
+        jobs skew long, the hyper-gamma's node dependence.
+    interarrival_shape / interarrival_scale:
+        Gamma interarrival time (seconds); the mean is shape × scale.
+    day_amplitude / peak_hour:
+        Daily cycle modulating the arrival intensity.
+    max_runtime:
+        Truncation for the runtime tail (seconds).
+    """
+
+    max_procs: int = 128
+    serial_prob: float = 0.24
+    pow2_prob: float = 0.75
+    log_size_low: float = 0.8
+    log_size_med: float = 3.5
+    log_size_high: float = 7.0
+    log_size_stage1_prob: float = 0.70
+    runtime_shape_short: float = 2.0
+    runtime_scale_short: float = 60.0
+    runtime_shape_long: float = 2.5
+    runtime_scale_long: float = 4_000.0
+    long_prob_base: float = 0.15
+    long_prob_per_node: float = 0.004
+    interarrival_shape: float = 0.8
+    interarrival_scale: float = 450.0
+    day_amplitude: float = 0.6
+    peak_hour: float = 14.0
+    max_runtime: float = 3 * 86_400.0
+    n_users: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_procs < 1:
+            raise ValueError("max_procs must be >= 1")
+        if not 0.0 <= self.serial_prob <= 1.0:
+            raise ValueError("serial_prob must lie in [0, 1]")
+        if not 0.0 <= self.pow2_prob <= 1.0:
+            raise ValueError("pow2_prob must lie in [0, 1]")
+        if not (self.log_size_low <= self.log_size_med <= self.log_size_high):
+            raise ValueError("need log_size_low <= med <= high")
+        for name in (
+            "runtime_shape_short", "runtime_scale_short",
+            "runtime_shape_long", "runtime_scale_long",
+            "interarrival_shape", "interarrival_scale",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # -- marginal samplers ----------------------------------------------------
+
+    def sample_sizes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Job sizes (processors), vectorised."""
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        sizes = np.ones(n, dtype=np.int64)
+        parallel = rng.uniform(size=n) >= self.serial_prob
+        k = int(parallel.sum())
+        if k:
+            stage1 = rng.uniform(size=k) < self.log_size_stage1_prob
+            logs = np.where(
+                stage1,
+                rng.uniform(self.log_size_low, self.log_size_med, size=k),
+                rng.uniform(self.log_size_med, self.log_size_high, size=k),
+            )
+            raw = np.exp2(logs)
+            snap = rng.uniform(size=k) < self.pow2_prob
+            snapped = np.exp2(np.rint(logs))
+            chosen = np.where(snap, snapped, np.rint(raw))
+            sizes[parallel] = np.clip(chosen, 2, self.max_procs).astype(np.int64)
+        return sizes
+
+    def long_job_probability(self, sizes: np.ndarray) -> np.ndarray:
+        """The node-dependent hyper-gamma mixing probability."""
+        p = self.long_prob_base + self.long_prob_per_node * np.asarray(sizes)
+        return np.clip(p, 0.05, 0.95)
+
+    def sample_runtimes(
+        self, sizes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Runtimes conditioned on job sizes (the hyper-gamma)."""
+        n = len(sizes)
+        if n == 0:
+            return np.empty(0)
+        long_mask = rng.uniform(size=n) < self.long_job_probability(sizes)
+        out = np.empty(n)
+        n_long = int(long_mask.sum())
+        if n_long:
+            out[long_mask] = rng.gamma(
+                self.runtime_shape_long, self.runtime_scale_long, size=n_long
+            )
+        n_short = n - n_long
+        if n_short:
+            out[~long_mask] = rng.gamma(
+                self.runtime_shape_short, self.runtime_scale_short, size=n_short
+            )
+        return np.clip(np.rint(out), 1.0, self.max_runtime)
+
+    def sample_arrivals(
+        self, duration: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Arrival times over [0, duration) — gamma gaps, daily-cycle paced.
+
+        The gap drawn at time *t* is divided by the diurnal intensity at
+        *t*, so busy hours see proportionally denser arrivals.
+        """
+        times = []
+        t = 0.0
+        while True:
+            gap = rng.gamma(self.interarrival_shape, self.interarrival_scale)
+            factor = float(
+                diurnal_factor(t, self.day_amplitude, self.peak_hour)
+            )
+            t += gap / max(factor, 1e-3)
+            if t >= duration:
+                break
+            times.append(t)
+        return np.array(times)
+
+    def mean_arrival_rate(self) -> float:
+        """Approximate long-run rate (jobs/second)."""
+        return 1.0 / (self.interarrival_shape * self.interarrival_scale)
+
+    def expected_load(self) -> float:
+        """Rough offered load from the analytic marginal means."""
+        mean_size = (
+            self.serial_prob
+            + (1 - self.serial_prob)
+            * 2
+            ** (
+                self.log_size_stage1_prob
+                * (self.log_size_low + self.log_size_med)
+                / 2
+                + (1 - self.log_size_stage1_prob)
+                * (self.log_size_med + self.log_size_high)
+                / 2
+            )
+        )
+        p_long = self.long_prob_base + self.long_prob_per_node * mean_size
+        mean_rt = (
+            p_long * self.runtime_shape_long * self.runtime_scale_long
+            + (1 - p_long) * self.runtime_shape_short * self.runtime_scale_short
+        )
+        return self.mean_arrival_rate() * mean_size * mean_rt / self.max_procs
+
+
+def generate_lublin_trace(
+    model: LublinModel,
+    duration: float,
+    seed: int = 0,
+    estimates: RoundedEstimates | None = None,
+) -> list[Job]:
+    """Generate a trace from *model* over *duration* seconds."""
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rngs = RngFactory(seed)
+    times = model.sample_arrivals(duration, rngs("lublin/arrivals"))
+    n = times.size
+    sizes = model.sample_sizes(n, rngs("lublin/sizes"))
+    runtimes = model.sample_runtimes(sizes, rngs("lublin/runtimes"))
+    est_model = estimates or RoundedEstimates()
+    est = np.rint(est_model.sample(runtimes, rngs("lublin/estimates")))
+    users = rngs("lublin/users").integers(0, model.n_users, size=n)
+    return [
+        Job(
+            job_id=i,
+            submit_time=float(times[i]),
+            runtime=float(runtimes[i]),
+            procs=int(sizes[i]),
+            user=int(users[i]),
+            user_estimate=float(est[i]),
+        )
+        for i in range(n)
+    ]

@@ -1,0 +1,219 @@
+"""Job runtime and parallelism distributions for synthetic traces.
+
+Runtimes in production parallel workloads are heavy-tailed and well
+approximated by mixtures of lognormals (short interactive/failed jobs vs.
+long batch jobs).  Parallelism concentrates on powers of two.  Both models
+here are the standard choices in the workload-modelling literature
+(Lublin/Feitelson-style) and are calibrated per trace in
+:mod:`repro.workload.synthetic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LognormalMixture",
+    "PowerOfTwoProcs",
+    "SequentialProcs",
+    "UserCorrelatedRuntimes",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class LognormalMixture:
+    """A mixture of lognormal runtime components.
+
+    Each component ``(weight, median_seconds, sigma)`` contributes
+    ``weight`` of the jobs with runtimes ``exp(N(ln median, sigma))``.
+    Samples are clamped to ``[min_runtime, max_runtime]``.
+    """
+
+    components: tuple[tuple[float, float, float], ...]
+    min_runtime: float = 1.0
+    max_runtime: float = 5 * 86_400.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("at least one mixture component required")
+        total = sum(w for w, _, _ in self.components)
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"mixture weights must sum to 1, got {total}")
+        for w, median, sigma in self.components:
+            if w < 0 or median <= 0 or sigma < 0:
+                raise ValueError(f"invalid component ({w}, {median}, {sigma})")
+        if not 0 < self.min_runtime <= self.max_runtime:
+            raise ValueError("need 0 < min_runtime <= max_runtime")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *n* runtimes (seconds), vectorised."""
+        if n <= 0:
+            return np.empty(0)
+        weights = np.array([w for w, _, _ in self.components])
+        choice = rng.choice(len(self.components), size=n, p=weights / weights.sum())
+        out = np.empty(n)
+        for idx, (_, median, sigma) in enumerate(self.components):
+            mask = choice == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = rng.lognormal(mean=np.log(median), sigma=sigma, size=count)
+        np.clip(out, self.min_runtime, self.max_runtime, out=out)
+        return out
+
+    def mean(self) -> float:
+        """Analytic mixture mean (ignoring clamping); used for load calibration."""
+        return float(
+            sum(w * median * np.exp(sigma**2 / 2) for w, median, sigma in self.components)
+        )
+
+
+@dataclass(slots=True, frozen=True)
+class UserCorrelatedRuntimes:
+    """Runtimes with per-user locality on top of a lognormal mixture.
+
+    Real PWA workloads show strong within-user runtime correlation —
+    users resubmit near-identical jobs — which is exactly what makes
+    Tsafrir-style k-NN prediction ≈50% accurate (paper §3.2).  I.i.d.
+    sampling destroys that structure and unfairly cripples system
+    prediction, so this wrapper gives each user a *preferred* mixture
+    component and a persistent level within it:
+
+    ``log rt = log(median_c) + user_offset + N(0, within_sigma)``
+
+    with ``user_offset ~ N(0, sqrt(sigma_c² − within²))``, so the marginal
+    distribution of the underlying mixture is preserved exactly while
+    consecutive same-user jobs stay close.  With probability
+    ``1 − locality`` a job ignores its user and draws from the global
+    mixture (users do occasionally run something different).
+    """
+
+    mixture: LognormalMixture
+    locality: float = 0.75
+    within_fraction: float = 0.35  # share of each component's sigma kept within-session
+    session_length: int = 12  # jobs per user "campaign" before re-drawing the level
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError(f"locality must lie in [0, 1], got {self.locality}")
+        if not 0.0 < self.within_fraction <= 1.0:
+            raise ValueError(
+                f"within_fraction must lie in (0, 1], got {self.within_fraction}"
+            )
+        if self.session_length < 1:
+            raise ValueError(
+                f"session_length must be >= 1, got {self.session_length}"
+            )
+
+    def sample_for_users(
+        self, users: np.ndarray, n_users: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Runtimes for jobs submitted by *users* (ids in [0, n_users)),
+        in submission order.
+
+        Locality is per *session*: every ``session_length`` consecutive
+        jobs of a user share a freshly drawn (component, level) pair, so
+        heavy Zipf users do not pin the whole trace's runtime mass to a
+        handful of permanent levels (which would make realised load wildly
+        seed-dependent).
+        """
+        users = np.asarray(users)
+        n = users.size
+        if n == 0:
+            return np.empty(0)
+        comps = self.mixture.components
+        weights = np.array([w for w, _, _ in comps])
+        weights = weights / weights.sum()
+        sigmas = np.array([s for _, _, s in comps])
+        log_medians = np.log([m for _, m, s in comps])
+        within = sigmas * self.within_fraction
+        between = np.sqrt(np.maximum(sigmas**2 - within**2, 0.0))
+
+        # rank of each job within its user's submission sequence
+        rank = np.empty(n, dtype=np.int64)
+        counters = np.zeros(n_users, dtype=np.int64)
+        for i, u in enumerate(users):
+            rank[i] = counters[u]
+            counters[u] += 1
+        session = rank // self.session_length
+
+        # one (component, offset) per (user, session) pair
+        key_comp: dict[tuple[int, int], int] = {}
+        key_offset: dict[tuple[int, int], float] = {}
+        comp_of = np.empty(n, dtype=np.int64)
+        offset_of = np.empty(n)
+        for i in range(n):
+            key = (int(users[i]), int(session[i]))
+            if key not in key_comp:
+                c = int(rng.choice(len(comps), p=weights))
+                key_comp[key] = c
+                key_offset[key] = float(rng.normal(0.0, 1.0) * between[c])
+            comp_of[i] = key_comp[key]
+            offset_of[i] = key_offset[key]
+
+        local = rng.uniform(size=n) < self.locality
+        out = np.empty(n)
+        if local.any():
+            c = comp_of[local]
+            out[local] = np.exp(
+                log_medians[c]
+                + offset_of[local]
+                + rng.normal(0.0, 1.0, size=int(local.sum())) * within[c]
+            )
+        n_global = int((~local).sum())
+        if n_global:
+            out[~local] = self.mixture.sample(n_global, rng)
+        np.clip(out, self.mixture.min_runtime, self.mixture.max_runtime, out=out)
+        return out
+
+    def mean(self) -> float:
+        """Marginal mean — identical to the underlying mixture's."""
+        return self.mixture.mean()
+
+
+@dataclass(slots=True, frozen=True)
+class PowerOfTwoProcs:
+    """Job-size distribution over powers of two (plus optional serial mass).
+
+    ``weights[k]`` is the probability of requesting ``2**k`` processors;
+    sizes above ``max_procs`` are resampled onto the largest allowed power.
+    """
+
+    weights: tuple[float, ...] = field(
+        default=(0.30, 0.15, 0.15, 0.15, 0.10, 0.10, 0.05)
+    )  # 1,2,4,8,16,32,64
+    max_procs: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise ValueError("weights must have positive mass")
+        if self.max_procs < 1:
+            raise ValueError("max_procs must be >= 1")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        w = np.array(self.weights, dtype=float)
+        sizes = 2 ** rng.choice(len(w), size=n, p=w / w.sum())
+        return np.minimum(sizes, self.max_procs).astype(np.int64)
+
+    def mean(self) -> float:
+        w = np.array(self.weights, dtype=float)
+        sizes = np.minimum(2 ** np.arange(len(w)), self.max_procs)
+        return float((w * sizes).sum() / w.sum())
+
+
+@dataclass(slots=True, frozen=True)
+class SequentialProcs:
+    """All jobs request exactly one processor (LPC-EGEE is 100% sequential)."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.ones(max(n, 0), dtype=np.int64)
+
+    def mean(self) -> float:
+        return 1.0

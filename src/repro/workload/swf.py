@@ -1,0 +1,131 @@
+"""Standard Workload Format (SWF) reader/writer.
+
+SWF is the format of the Parallel Workloads Archive traces the paper uses.
+Each data line has 18 whitespace-separated fields; ``;`` lines are header
+comments.  Field reference: https://www.cs.huji.ac.il/labs/parallel/workload/swf.html
+
+We map the fields the scheduler needs onto :class:`~repro.workload.job.Job`:
+
+====  =========================  ===========================
+ #    SWF field                  Job attribute
+====  =========================  ===========================
+ 1    job number                 ``job_id``
+ 2    submit time                ``submit_time``
+ 4    run time                   ``runtime``
+ 5    allocated processors       ``procs`` (fallback: field 8)
+ 9    requested time             ``user_estimate``
+ 12   user id                    ``user``
+====  =========================  ===========================
+
+Following the archive convention, ``-1`` marks missing values.  When the
+allocated-processor field is missing we fall back to requested processors
+(field 8), matching common practice in trace-driven schedulers.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.workload.job import Job
+
+__all__ = ["parse_swf", "parse_swf_file", "write_swf", "SwfFormatError"]
+
+_NUM_FIELDS = 18
+
+
+class SwfFormatError(ValueError):
+    """Raised on malformed SWF data lines."""
+
+
+def _parse_line(line: str, lineno: int) -> Job | None:
+    fields = line.split()
+    if len(fields) < _NUM_FIELDS:
+        raise SwfFormatError(
+            f"line {lineno}: expected {_NUM_FIELDS} fields, got {len(fields)}"
+        )
+    try:
+        job_id = int(fields[0])
+        submit = float(fields[1])
+        runtime = float(fields[3])
+        procs = int(fields[4])
+        req_procs = int(fields[7])
+        req_time = float(fields[8])
+        user = int(fields[11])
+    except ValueError as exc:
+        raise SwfFormatError(f"line {lineno}: non-numeric field ({exc})") from exc
+
+    if procs <= 0:
+        procs = req_procs
+    # Jobs with unusable core fields are returned raw and left to the
+    # cleaning pass (repro.workload.cleaning) to count and drop.
+    return Job(
+        job_id=job_id,
+        submit_time=max(submit, 0.0),
+        runtime=max(runtime, 0.0),
+        procs=max(procs, 0),
+        user=max(user, 0),
+        user_estimate=req_time if req_time > 0 else -1.0,
+    )
+
+
+def parse_swf(stream: TextIO | Iterable[str]) -> Iterator[Job]:
+    """Yield :class:`Job` objects from SWF text.
+
+    Header/comment lines (starting with ``;``) and blank lines are skipped.
+    Submit times are passed through unshifted; use
+    :func:`repro.workload.cleaning.clean_jobs` to normalise and filter.
+    """
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        job = _parse_line(line, lineno)
+        if job is not None:
+            yield job
+
+
+def parse_swf_file(path: str | Path) -> list[Job]:
+    """Parse an SWF file from disk into a list of jobs."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        return list(parse_swf(fh))
+
+
+def write_swf(jobs: Iterable[Job], stream: TextIO | None = None, header: str = "") -> str:
+    """Serialize *jobs* to SWF text; returns the text (and writes *stream*).
+
+    Only the fields this library consumes are populated; the rest are -1,
+    which is valid SWF.  Round-trips through :func:`parse_swf`.
+    """
+    out = stream if stream is not None else io.StringIO()
+    if header:
+        for hline in header.splitlines():
+            out.write(f"; {hline}\n")
+    for job in jobs:
+        est = job.user_estimate if job.user_estimate > 0 else -1
+        fields = [
+            job.job_id,  # 1 job number
+            int(job.submit_time),  # 2 submit time
+            -1,  # 3 wait time (scheduler-dependent)
+            int(job.runtime),  # 4 run time
+            job.procs,  # 5 allocated processors
+            -1,  # 6 average CPU time
+            -1,  # 7 used memory
+            job.procs,  # 8 requested processors
+            int(est),  # 9 requested time
+            -1,  # 10 requested memory
+            1,  # 11 status (completed)
+            job.user,  # 12 user id
+            -1,  # 13 group id
+            -1,  # 14 executable
+            -1,  # 15 queue
+            -1,  # 16 partition
+            -1,  # 17 preceding job
+            -1,  # 18 think time
+        ]
+        out.write(" ".join(str(f) for f in fields) + "\n")
+    if stream is None:
+        assert isinstance(out, io.StringIO)
+        return out.getvalue()
+    return ""

@@ -1,0 +1,321 @@
+"""Synthetic stand-ins for the paper's four PWA traces.
+
+The real KTH-SP2 / SDSC-SP2 / DAS2-fs0 / LPC-EGEE traces cannot ship with
+this repository.  Each :class:`TraceSpec` below is calibrated to the
+published characteristics the paper's conclusions depend on:
+
+=========  ======  ======  =============  ==========================
+Trace      CPUs    Load%   Arrivals       Jobs
+=========  ======  ======  =============  ==========================
+KTH-SP2    100     70.4    stable/diurnal long parallel batch jobs
+SDSC-SP2   128     83.5    stable/diurnal long parallel batch jobs
+DAS2-fs0   144     14.9    very bursty    very short parallel jobs
+LPC-EGEE   140     20.8    bursty+diurnal short *sequential* jobs
+=========  ======  ======  =============  ==========================
+
+Arrival rates are the Table 1 job counts divided by the trace spans; load
+is calibrated analytically from the runtime/parallelism mixtures via
+``TraceSpec.expected_load`` (and verified by tests to land near the
+published utilisations).  Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.sim.rng import RngFactory
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+)
+from repro.workload.estimates import RoundedEstimates
+from repro.workload.job import Job
+from repro.workload.runtimes import (
+    LognormalMixture,
+    PowerOfTwoProcs,
+    SequentialProcs,
+    UserCorrelatedRuntimes,
+)
+
+__all__ = [
+    "TraceSpec",
+    "generate_trace",
+    "KTH_SP2",
+    "SDSC_SP2",
+    "DAS2_FS0",
+    "LPC_EGEE",
+    "TRACES",
+]
+
+MONTH = 30 * 86_400.0
+
+
+@dataclass(slots=True, frozen=True)
+class TraceSpec:
+    """Statistical model of one workload trace.
+
+    Attributes
+    ----------
+    name:
+        Trace identifier (matches the paper's naming).
+    system_procs:
+        Processor count of the source system (Table 1 "CPUs").
+    arrivals:
+        The arrival process (rates in jobs/second).
+    runtimes:
+        Runtime distribution (seconds).
+    procs:
+        Parallelism distribution.
+    estimates:
+        User-estimate model.
+    n_users:
+        Size of the user population (k-NN predictor input); activity is
+        Zipf-distributed so a few users dominate, as in real traces.
+    paper_months / paper_jobs / paper_load:
+        The published Table 1 values, kept for reporting and calibration
+        tests.
+    """
+
+    name: str
+    system_procs: int
+    arrivals: ArrivalProcess
+    runtimes: LognormalMixture
+    procs: PowerOfTwoProcs | SequentialProcs
+    estimates: RoundedEstimates = RoundedEstimates()
+    n_users: int = 100
+    paper_months: float = 12.0
+    paper_jobs: int = 0
+    paper_load: float = 0.0
+    #: Within-user runtime locality (see UserCorrelatedRuntimes): real PWA
+    #: users resubmit near-identical jobs, which is what makes k-NN
+    #: runtime prediction ≈50% accurate.  0 disables (i.i.d. runtimes).
+    runtime_locality: float = 0.75
+
+    def mean_rate(self) -> float:
+        """Long-run arrival rate implied by the Table 1 job count."""
+        return self.paper_jobs / (self.paper_months * MONTH)
+
+    def expected_load(self) -> float:
+        """Analytic offered load: rate × E[procs] × E[runtime] / CPUs.
+
+        Uses the arrival process' analytic rate (not the Table 1 rate) so
+        the number reflects what :func:`generate_trace` actually produces.
+        """
+        return (
+            self.arrivals.mean_arrival_rate()
+            * self.procs.mean()
+            * self.runtimes.mean()
+            / self.system_procs
+        )
+
+    def with_duration_jobs(self, duration: float) -> float:
+        """Expected number of jobs generated over *duration* seconds."""
+        return self.mean_rate() * duration
+
+    def scaled(self, rate_factor: float) -> "TraceSpec":
+        """A copy with the arrival intensity scaled by *rate_factor*.
+
+        Useful for stress experiments; runtime/parallelism mixes are kept.
+        """
+        arrivals = self.arrivals
+        if isinstance(arrivals, DiurnalArrivals):
+            arrivals = DiurnalArrivals(
+                arrivals.mean_rate * rate_factor,
+                arrivals.day_amplitude,
+                arrivals.peak_hour,
+                arrivals.weekend_factor,
+            )
+        elif isinstance(arrivals, BurstyArrivals):
+            arrivals = BurstyArrivals(
+                arrivals.quiet_rate * rate_factor,
+                arrivals.burst_rate * rate_factor,
+                arrivals.mean_quiet,
+                arrivals.mean_burst,
+                arrivals.diurnal,
+            )
+        else:
+            raise TypeError(f"cannot scale arrival process {type(arrivals).__name__}")
+        return replace(
+            self, arrivals=arrivals, paper_jobs=int(self.paper_jobs * rate_factor)
+        )
+
+
+def _user_weights(n_users: int) -> np.ndarray:
+    """Zipf(1.2)-like activity weights over the user population."""
+    ranks = np.arange(1, n_users + 1, dtype=float)
+    w = ranks**-1.2
+    return w / w.sum()
+
+
+def generate_trace(
+    spec: TraceSpec,
+    duration: float,
+    seed: int = 0,
+    max_procs: int | None = 64,
+) -> list[Job]:
+    """Generate a synthetic trace for *spec* over *duration* seconds.
+
+    Jobs are sorted by submit time, ids are sequential from 0, runtimes
+    and estimates are integral seconds (like SWF), and parallelism is
+    capped at *max_procs* (the paper's ≤64-processor filter, applied at
+    generation time so the whole synthetic trace is usable).
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rngs = RngFactory(seed)
+    times = spec.arrivals.sample(duration, rngs(f"{spec.name}/arrivals"))
+    n = times.size
+    users = rngs(f"{spec.name}/users").choice(
+        spec.n_users, size=n, p=_user_weights(spec.n_users)
+    )
+    if spec.runtime_locality > 0:
+        sampler = UserCorrelatedRuntimes(spec.runtimes, locality=spec.runtime_locality)
+        raw = sampler.sample_for_users(users, spec.n_users, rngs(f"{spec.name}/runtimes"))
+    else:
+        raw = spec.runtimes.sample(n, rngs(f"{spec.name}/runtimes"))
+    runtimes = np.maximum(1.0, np.rint(raw))
+    procs = spec.procs.sample(n, rngs(f"{spec.name}/procs"))
+    if max_procs is not None:
+        procs = np.minimum(procs, max_procs)
+    procs = np.minimum(procs, spec.system_procs)
+    estimates = np.rint(spec.estimates.sample(runtimes, rngs(f"{spec.name}/estimates")))
+    return [
+        Job(
+            job_id=i,
+            submit_time=float(times[i]),
+            runtime=float(runtimes[i]),
+            procs=int(procs[i]),
+            user=int(users[i]),
+            user_estimate=float(estimates[i]),
+        )
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The four calibrated trace models.
+#
+# Rates below are paper_jobs / (paper_months * 30 days).  Runtime mixtures
+# are chosen so expected_load() lands on the Table 1 utilisation (verified
+# by tests within ±15%), with short/long mass mirroring each system's
+# documented character.
+# ---------------------------------------------------------------------------
+
+KTH_SP2 = TraceSpec(
+    name="KTH-SP2",
+    system_procs=100,
+    paper_months=11.0,
+    paper_jobs=28_158,
+    paper_load=0.704,
+    # 28158 jobs / 11 months ≈ 9.87e-4 jobs/s; stable diurnal arrivals.
+    arrivals=DiurnalArrivals.with_effective_rate(
+        target_rate=28_158 / (11.0 * MONTH),
+        day_amplitude=0.5,
+        peak_hour=14.0,
+        weekend_factor=0.6,
+    ),
+    # Long batch jobs: mean area must be ≈ 0.704*100/9.87e-4 ≈ 7.1e4 cpu·s;
+    # with E[procs]≈9.5 that is E[runtime]≈7.5e3 s.
+    runtimes=LognormalMixture(
+        components=(
+            (0.40, 150.0, 1.2),  # short test/debug runs
+            (0.40, 3_000.0, 1.0),  # medium batch
+            (0.20, 20_000.0, 0.7),  # long production runs
+        ),
+        max_runtime=4 * 86_400.0,
+    ),
+    procs=PowerOfTwoProcs(weights=(0.28, 0.17, 0.16, 0.15, 0.12, 0.08, 0.04)),
+    n_users=120,
+)
+
+SDSC_SP2 = TraceSpec(
+    name="SDSC-SP2",
+    system_procs=128,
+    paper_months=24.0,
+    paper_jobs=53_548,
+    paper_load=0.835,
+    # 53548 jobs / 24 months ≈ 8.6e-4 jobs/s; stable diurnal arrivals.
+    arrivals=DiurnalArrivals.with_effective_rate(
+        target_rate=53_548 / (24.0 * MONTH),
+        day_amplitude=0.45,
+        peak_hour=13.0,
+        weekend_factor=0.7,
+    ),
+    # Heavily loaded production system: mean area ≈ 0.835*128/8.6e-4 ≈
+    # 1.24e5 cpu·s; with E[procs]≈10.7 that is E[runtime]≈1.17e4 s.
+    runtimes=LognormalMixture(
+        components=(
+            (0.35, 200.0, 1.2),
+            (0.40, 4_000.0, 1.0),
+            (0.25, 28_000.0, 0.7),
+        ),
+        max_runtime=5 * 86_400.0,
+    ),
+    procs=PowerOfTwoProcs(weights=(0.25, 0.16, 0.16, 0.16, 0.13, 0.09, 0.05)),
+    n_users=150,
+)
+
+DAS2_FS0 = TraceSpec(
+    name="DAS2-fs0",
+    system_procs=144,
+    paper_months=12.0,
+    paper_jobs=206_925,
+    paper_load=0.149,
+    # 206925 jobs / 12 months ≈ 6.65e-3 jobs/s on average, delivered in
+    # intense bursts separated by long quiet periods (research system used
+    # for scheduling experiments; Fig. 3c).
+    arrivals=BurstyArrivals(
+        quiet_rate=0.0008,
+        burst_rate=0.10,
+        mean_quiet=6 * 3_600.0,
+        mean_burst=1_400.0,
+    ),
+    # Very short jobs (interactive experiments): mean area ≈
+    # 0.149*144/6.65e-3 ≈ 3.2e3 cpu·s; E[procs]≈6.5 → E[runtime]≈500 s.
+    runtimes=LognormalMixture(
+        components=(
+            (0.70, 20.0, 1.0),  # seconds-scale experiment tasks
+            (0.25, 400.0, 0.9),  # minutes-scale runs
+            (0.05, 4_500.0, 0.8),  # occasional long runs
+        ),
+        max_runtime=2 * 86_400.0,
+    ),
+    procs=PowerOfTwoProcs(weights=(0.35, 0.20, 0.17, 0.13, 0.09, 0.04, 0.02)),
+    n_users=200,
+)
+
+LPC_EGEE = TraceSpec(
+    name="LPC-EGEE",
+    system_procs=140,
+    paper_months=9.0,
+    paper_jobs=214_322,
+    paper_load=0.208,
+    # 214322 jobs / 9 months ≈ 9.2e-3 jobs/s; bursts on top of a clear
+    # work-hours baseline (grid production jobs; Fig. 3d).
+    arrivals=BurstyArrivals(
+        quiet_rate=0.004,
+        burst_rate=0.085,
+        mean_quiet=4 * 3_600.0,
+        mean_burst=1_200.0,
+        diurnal=DiurnalArrivals.with_effective_rate(
+            target_rate=0.004, day_amplitude=0.7, peak_hour=15.0, weekend_factor=0.5
+        ),
+    ),
+    # 100% sequential grid jobs: mean runtime ≈ 0.208*140/9.2e-3 ≈ 3.2e3 s.
+    runtimes=LognormalMixture(
+        components=(
+            (0.45, 90.0, 1.1),  # failed/short tasks
+            (0.45, 2_200.0, 0.9),  # typical grid tasks
+            (0.10, 12_000.0, 0.7),  # long analyses
+        ),
+        max_runtime=2 * 86_400.0,
+    ),
+    procs=SequentialProcs(),
+    n_users=80,
+)
+
+#: All four calibrated trace models, in the paper's presentation order.
+TRACES: tuple[TraceSpec, ...] = (KTH_SP2, SDSC_SP2, DAS2_FS0, LPC_EGEE)

@@ -1,0 +1,56 @@
+"""Tests for the multi-seed analysis helpers."""
+
+import pytest
+
+from repro.experiments.analysis import SeedStudy, bootstrap_ci, multi_seed_improvements
+from repro.experiments.cache import clear_cache
+from repro.experiments.configs import ExperimentScale
+from repro.workload.synthetic import DAS2_FS0
+
+
+class TestBootstrap:
+    def test_degenerate_sample(self):
+        lo, hi = bootstrap_ci([0.5, 0.5, 0.5])
+        assert lo == hi == 0.5
+
+    def test_interval_brackets_mean(self):
+        values = [0.0, 1.0, 2.0, 3.0, 4.0]
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo <= sum(values) / len(values) <= hi
+        assert lo < hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+    def test_deterministic(self):
+        assert bootstrap_ci([1.0, 2.0, 3.0], seed=7) == bootstrap_ci(
+            [1.0, 2.0, 3.0], seed=7
+        )
+
+
+class TestSeedStudy:
+    def test_row_and_stats(self):
+        study = SeedStudy(
+            trace="X", seeds=(1, 2, 3), improvements=(0.1, 0.2, -0.05)
+        )
+        assert study.mean() == pytest.approx(0.25 / 3)
+        row = study.row()
+        assert row["wins"] == 2
+        assert row["seeds"] == 3
+        assert "%" in row["mean improvement"]
+
+    def test_multi_seed_runs_end_to_end(self):
+        clear_cache()
+        scale = ExperimentScale(
+            compare_duration=4 * 3_600.0, sweep_duration=2 * 3_600.0
+        )
+        study = multi_seed_improvements(DAS2_FS0, seeds=(5, 6), scale=scale)
+        assert study.trace == "DAS2-fs0"
+        assert len(study.improvements) == 2
+        assert all(isinstance(i, float) for i in study.improvements)
+        clear_cache()

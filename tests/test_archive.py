@@ -1,0 +1,57 @@
+"""Tests for the PWA archive descriptors and loader."""
+
+import pytest
+
+from repro.workload.archive import (
+    ARCHIVE_TRACES,
+    KTH_SP2_ARCHIVE,
+    load_pwa_trace,
+)
+from repro.workload.swf import write_swf
+from repro.workload.synthetic import KTH_SP2, generate_trace
+
+
+class TestDescriptors:
+    def test_four_traces_match_table1(self):
+        assert [t.name for t in ARCHIVE_TRACES] == [
+            "KTH-SP2", "SDSC-SP2", "DAS2-fs0", "LPC-EGEE",
+        ]
+        by_name = {t.name: t for t in ARCHIVE_TRACES}
+        assert by_name["KTH-SP2"].system_procs == 100
+        assert by_name["SDSC-SP2"].system_procs == 128
+        assert by_name["DAS2-fs0"].system_procs == 144
+        assert by_name["LPC-EGEE"].system_procs == 140
+        # the paper keeps >= 95% of every original trace
+        for t in ARCHIVE_TRACES:
+            assert t.paper_jobs_le64 / t.paper_jobs_total >= 0.95
+
+    def test_urls_point_at_the_archive(self):
+        assert "cs.huji.ac.il" in KTH_SP2_ARCHIVE.url
+        assert "kth_sp2" in KTH_SP2_ARCHIVE.url
+
+
+class TestLoader:
+    def test_load_round_trip(self, tmp_path):
+        """A synthetic trace written as SWF loads through the PWA path."""
+        jobs = generate_trace(KTH_SP2, duration=6 * 3_600.0, seed=31)
+        path = tmp_path / "kth.swf"
+        with open(path, "w", encoding="utf-8") as fh:
+            write_swf(jobs, fh, header="synthetic")
+        loaded, report = load_pwa_trace(path, KTH_SP2_ARCHIVE)
+        assert report.kept == len(jobs)
+        assert report.kept_fraction == 1.0
+        assert len(loaded) == len(jobs)
+
+    def test_filter_applies(self, tmp_path):
+        from repro.workload.job import Job
+
+        jobs = [
+            Job(job_id=1, submit_time=0.0, runtime=10.0, procs=80),
+            Job(job_id=2, submit_time=1.0, runtime=10.0, procs=2),
+        ]
+        path = tmp_path / "t.swf"
+        with open(path, "w", encoding="utf-8") as fh:
+            write_swf(jobs, fh)
+        loaded, report = load_pwa_trace(path, KTH_SP2_ARCHIVE)
+        assert [j.job_id for j in loaded] == [2]
+        assert report.dropped_over_filter == 1

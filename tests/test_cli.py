@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "KTH-SP2"])
+        assert args.hours == 24.0
+        assert args.seed == 42
+
+    def test_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestTraceCommand:
+    def test_summary_printed(self, capsys):
+        assert main(["trace", "DAS2-fs0", "--hours", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "DAS2-fs0" in out
+        assert "Load[%]" in out
+
+    def test_swf_round_trip(self, tmp_path, capsys):
+        swf = tmp_path / "t.swf"
+        assert main([
+            "trace", "LPC-EGEE", "--hours", "3", "--seed", "3",
+            "--swf-out", str(swf),
+        ]) == 0
+        assert swf.exists()
+        # and the written file replays through `run --swf`
+        assert main([
+            "run", "--swf", str(swf), "--policy", "ODB-FCFS-FirstFit",
+            "--system-procs", "140",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ODB-FCFS-FirstFit" in out
+
+
+class TestRunCommand:
+    def test_fixed_policy(self, capsys):
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "4", "--seed", "5",
+            "--policy", "ODM-UNICEF-FirstFit",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "utility" in out
+
+    def test_portfolio(self, capsys):
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "2", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out
+        assert "selections" in out
+
+    def test_bad_policy_name(self, capsys):
+        rc = main([
+            "run", "--model", "DAS2-fs0", "--hours", "1", "--policy", "NOPE",
+        ])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_knn_predictor_flag(self, capsys):
+        assert main([
+            "run", "--model", "LPC-EGEE", "--hours", "2", "--seed", "5",
+            "--policy", "ODX-LXF-FirstFit", "--predictor", "knn",
+        ]) == 0
+
+
+class TestPoliciesCommand:
+    def test_lists_sixty(self, capsys):
+        assert main(["policies"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 60
+        assert "ODA-FCFS-BestFit" in lines

@@ -1,0 +1,112 @@
+"""Unit and property tests for the hourly billing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.billing import HOUR, HourlyBilling
+
+
+@pytest.fixture
+def billing() -> HourlyBilling:
+    return HourlyBilling()
+
+
+class TestChargedSeconds:
+    def test_zero_use_charges_one_hour(self, billing):
+        assert billing.charged_seconds(0.0, 0.0) == HOUR
+
+    def test_one_second_charges_one_hour(self, billing):
+        assert billing.charged_seconds(0.0, 1.0) == HOUR
+
+    def test_exact_hour_charges_one_hour(self, billing):
+        assert billing.charged_seconds(0.0, HOUR) == HOUR
+
+    def test_hour_plus_one_charges_two(self, billing):
+        assert billing.charged_seconds(0.0, HOUR + 1.0) == 2 * HOUR
+
+    def test_offset_lease_time(self, billing):
+        assert billing.charged_seconds(500.0, 500.0 + 90 * 60) == 2 * HOUR
+
+    def test_end_before_lease_rejected(self, billing):
+        with pytest.raises(ValueError):
+            billing.charged_seconds(10.0, 5.0)
+
+    def test_custom_period(self):
+        b = HourlyBilling(period=60.0)
+        assert b.charged_seconds(0.0, 61.0) == 120.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            HourlyBilling(period=0.0)
+
+
+class TestRemainingPaid:
+    def test_full_period_right_after_lease(self, billing):
+        assert billing.remaining_paid(0.0, 0.0) == HOUR
+
+    def test_mid_hour(self, billing):
+        assert billing.remaining_paid(0.0, 1800.0) == 1800.0
+
+    def test_zero_at_boundary(self, billing):
+        assert billing.remaining_paid(0.0, HOUR) == 0.0
+
+    def test_second_hour(self, billing):
+        assert billing.remaining_paid(0.0, HOUR + 600.0) == HOUR - 600.0
+
+    def test_now_before_lease_rejected(self, billing):
+        with pytest.raises(ValueError):
+            billing.remaining_paid(100.0, 50.0)
+
+
+class TestNextBoundary:
+    def test_first_boundary(self, billing):
+        assert billing.next_boundary(0.0, 0.0) == HOUR
+
+    def test_mid_hour(self, billing):
+        assert billing.next_boundary(0.0, 100.0) == HOUR
+
+    def test_strictly_after_at_boundary(self, billing):
+        # Regression: an at-or-after contract made boundary events
+        # reschedule themselves at the same instant forever.
+        assert billing.next_boundary(0.0, HOUR) == 2 * HOUR
+
+    def test_offset_lease(self, billing):
+        assert billing.next_boundary(250.0, 3_000.0) == 250.0 + HOUR
+
+
+@given(
+    lease=st.floats(min_value=0, max_value=1e7),
+    used=st.floats(min_value=0, max_value=1e6),
+)
+def test_charge_covers_usage_and_is_tight(lease, used):
+    """Charged time covers actual usage and never exceeds it by a period."""
+    b = HourlyBilling()
+    charge = b.charged_seconds(lease, lease + used)
+    assert charge >= used - 1e-6
+    assert charge <= max(used, 1e-9) + HOUR
+    assert charge % HOUR == pytest.approx(0.0, abs=1e-6)
+
+
+@given(
+    lease=st.floats(min_value=0, max_value=1e7),
+    elapsed=st.floats(min_value=0, max_value=1e6),
+)
+def test_next_boundary_strictly_future_and_aligned(lease, elapsed):
+    b = HourlyBilling()
+    now = lease + elapsed
+    boundary = b.next_boundary(lease, now)
+    assert boundary > now - 1e-3
+    assert boundary - now <= HOUR + 1e-3
+    # boundary is an integral number of periods after lease
+    k = (boundary - lease) / HOUR
+    assert abs(k - round(k)) < 1e-6
+
+
+@given(
+    lease=st.floats(min_value=0, max_value=1e7),
+    elapsed=st.floats(min_value=0, max_value=1e6),
+)
+def test_remaining_paid_within_period(lease, elapsed):
+    b = HourlyBilling()
+    rem = b.remaining_paid(lease, lease + elapsed)
+    assert 0.0 <= rem <= HOUR

@@ -1,0 +1,59 @@
+"""Tests for result export."""
+
+import json
+
+from repro.core.scheduler import FixedScheduler
+from repro.experiments.engine import ClusterEngine
+from repro.experiments.export import (
+    dump_result_json,
+    dump_rows_csv,
+    result_to_dict,
+    rows_to_csv,
+)
+from repro.policies.combined import policy_by_name
+from repro.workload.job import Job
+
+
+def small_result():
+    jobs = [Job(job_id=1, submit_time=0.0, runtime=100.0, procs=2)]
+    return ClusterEngine(
+        jobs, FixedScheduler(policy_by_name("ODA-FCFS-FirstFit"))
+    ).run()
+
+
+class TestResultExport:
+    def test_dict_fields(self):
+        d = result_to_dict(small_result())
+        assert d["jobs"] == 1
+        assert d["unfinished_jobs"] == 0
+        assert d["utility"] > 0
+        assert "records" not in d
+
+    def test_records_included_on_request(self):
+        d = result_to_dict(small_result(), include_records=True)
+        assert len(d["records"]) == 1
+        assert d["records"][0]["job_id"] == 1
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "r.json"
+        dump_result_json(small_result(), path, include_records=True)
+        loaded = json.loads(path.read_text())
+        assert loaded["jobs"] == 1
+        assert loaded["records"][0]["procs"] == 2
+
+
+class TestCsvExport:
+    def test_rows_to_csv(self):
+        text = rows_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_dump_file(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        dump_rows_csv([{"k": 3}], path)
+        assert path.read_text().startswith("k")

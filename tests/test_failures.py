@@ -1,0 +1,118 @@
+"""Tests for VM failure injection."""
+
+import pytest
+
+from repro.cloud.failures import FailureModel
+from repro.core.scheduler import FixedScheduler, PortfolioScheduler
+from repro.experiments.engine import ClusterEngine, EngineConfig
+from repro.policies.combined import policy_by_name
+from repro.sim.clock import VirtualCostClock
+from repro.workload.job import Job
+from repro.workload.synthetic import DAS2_FS0, generate_trace
+
+HOUR = 3_600.0
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_seconds=0.0)
+
+    def test_sampler_exponential_mean(self):
+        sampler = FailureModel(mtbf_seconds=1_000.0, seed=1).sampler()
+        draws = [sampler.time_to_failure() for _ in range(5_000)]
+        assert sum(draws) / len(draws) == pytest.approx(1_000.0, rel=0.1)
+        assert sampler.failures_drawn == 5_000
+
+    def test_deterministic_per_seed(self):
+        a = FailureModel(mtbf_seconds=100.0, seed=3).sampler()
+        b = FailureModel(mtbf_seconds=100.0, seed=3).sampler()
+        assert [a.time_to_failure() for _ in range(5)] == [
+            b.time_to_failure() for _ in range(5)
+        ]
+
+
+class TestEngineWithFailures:
+    def test_no_failures_with_huge_mtbf(self):
+        jobs = [Job(job_id=1, submit_time=0.0, runtime=300.0, procs=2)]
+        config = EngineConfig(failures=FailureModel(mtbf_seconds=1e12, seed=1))
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-FCFS-FirstFit")), config=config
+        ).run()
+        assert result.failures == 0
+        assert result.unfinished_jobs == 0
+
+    def test_aggressive_failures_still_complete_workload(self):
+        """With a 30-minute MTBF and survivable (short) jobs, the engine
+        re-queues and finishes everything, booking the wasted work.
+
+        (A job whose runtime rivals the MTBF can *never* finish in this
+        rigid no-checkpoint model — emergent and intended; here every job
+        is capped well below the MTBF.)
+        """
+        jobs = [
+            Job(job_id=j.job_id, submit_time=j.submit_time,
+                runtime=min(j.runtime, 600.0), procs=j.procs, user=j.user)
+            for j in generate_trace(DAS2_FS0, duration=4 * 3_600.0, seed=29)
+        ]
+        config = EngineConfig(failures=FailureModel(mtbf_seconds=1_800.0, seed=2))
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-UNICEF-FirstFit")), config=config
+        ).run()
+        assert result.unfinished_jobs == 0
+        assert result.failures > 0
+        assert result.metrics.jobs == len(jobs)
+
+    def test_failures_increase_slowdown_and_cost(self):
+        jobs = generate_trace(DAS2_FS0, duration=4 * 3_600.0, seed=29)
+        reliable = ClusterEngine(
+            [j.fresh_copy() for j in jobs],
+            FixedScheduler(policy_by_name("ODA-UNICEF-FirstFit")),
+        ).run()
+        flaky = ClusterEngine(
+            [j.fresh_copy() for j in jobs],
+            FixedScheduler(policy_by_name("ODA-UNICEF-FirstFit")),
+            config=EngineConfig(failures=FailureModel(mtbf_seconds=1_800.0, seed=2)),
+        ).run()
+        assert flaky.failures > 0
+        assert (
+            flaky.metrics.avg_bounded_slowdown
+            >= reliable.metrics.avg_bounded_slowdown
+        )
+        assert flaky.wasted_cpu_seconds > 0
+
+    def test_killed_job_reruns_from_scratch(self):
+        """One VM, one long job, MTBF far below the runtime: the job dies
+        at least once and its final record shows a restart (wait > 0)."""
+        jobs = [Job(job_id=1, submit_time=0.0, runtime=2_000.0, procs=1)]
+        config = EngineConfig(failures=FailureModel(mtbf_seconds=900.0, seed=5))
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-FCFS-FirstFit")), config=config
+        ).run()
+        assert result.unfinished_jobs == 0
+        if result.failures:  # the seed above does fail at least once
+            rec = result.records[0]
+            assert rec.finish_time - rec.submit_time > 2_000.0
+            assert result.wasted_cpu_seconds > 0
+
+    def test_portfolio_scheduler_tolerates_failures(self):
+        jobs = generate_trace(DAS2_FS0, duration=2 * 3_600.0, seed=31)
+        scheduler = PortfolioScheduler(cost_clock=VirtualCostClock(0.01), seed=3)
+        config = EngineConfig(failures=FailureModel(mtbf_seconds=3_600.0, seed=4))
+        result = ClusterEngine(jobs, scheduler, config=config).run()
+        assert result.unfinished_jobs == 0
+
+    def test_reserved_vms_exempt(self):
+        """Failures apply to the on-demand fleet only (documented)."""
+        jobs = [Job(job_id=1, submit_time=0.0, runtime=500.0, procs=1)]
+        config = EngineConfig(
+            reserved_vms=1,
+            failures=FailureModel(mtbf_seconds=1.0, seed=6),  # instant death
+        )
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODB-FCFS-FirstFit")), config=config
+        ).run()
+        # ODB sees the reserved VM as supply, leases nothing on-demand,
+        # and the reserved VM never fails
+        assert result.failures == 0
+        assert result.unfinished_jobs == 0

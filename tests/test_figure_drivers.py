@@ -1,0 +1,78 @@
+"""Structural tests of the figure drivers at miniature scale.
+
+The benchmarks run the drivers at full scale and assert the paper's
+shape claims; these tests only pin the row structure and basic sanity so
+refactors of the drivers fail fast.
+"""
+
+import pytest
+
+from repro.experiments.cache import clear_cache
+from repro.experiments.compare import comparison_rows
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.fig3 import fig3_rows
+from repro.experiments.fig5 import fig5_rows
+from repro.experiments.fig6 import fig6_rows
+from repro.experiments.fig9 import fig9_rows
+from repro.experiments.fig10 import fig10_rows
+from repro.experiments.table1 import table1_rows
+
+TINY = ExperimentScale(compare_duration=3 * 3_600.0, sweep_duration=2 * 3_600.0, seed=11)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestComparisonRows:
+    def test_structure(self):
+        rows = comparison_rows("oracle", TINY)
+        # per trace: 5 cluster rows + portfolio + improvement line
+        assert len(rows) == 4 * 7
+        traces = {r["trace"] for r in rows}
+        assert traces == {"KTH-SP2", "SDSC-SP2", "DAS2-fs0", "LPC-EGEE"}
+        portfolio_rows = [r for r in rows if r["scheduler"] == "PORTFOLIO"]
+        assert len(portfolio_rows) == 4
+        for r in portfolio_rows:
+            assert float(r["utility"]) > 0
+
+
+class TestSweepDrivers:
+    def test_fig5_rows(self):
+        rows = fig5_rows(TINY)
+        assert len(rows) == 12  # 3 granularities x 4 traces
+        assert {r["granularity"] for r in rows} == {
+            "provisioning", "prov+jobsel", "full policy",
+        }
+
+    def test_fig6_rows_subset(self):
+        rows = fig6_rows(TINY, settings=(("a1b1", 1.0, 1.0), ("b0", 1.0, 0.0)))
+        assert len(rows) == 8
+        assert all(r["BSD"] >= 1.0 for r in rows)
+
+    def test_fig9_rows_normalised_to_period_one(self):
+        rows = fig9_rows(TINY)
+        base = [r for r in rows if r["period"] == 1]
+        assert all(r["norm BSD"] == 1.0 for r in base)
+        assert all(r["norm invocations"] == 1.0 for r in base)
+        assert len(rows) == 4 * 5
+
+    def test_fig10_rows_subset(self):
+        rows = fig10_rows(TINY, constraints_ms=(20, 100))
+        assert len(rows) == 8
+        for r in rows:
+            assert r["policies/invocation"] <= r["delta[ms]"] / 10.0 + 2.0
+
+
+class TestStandaloneDrivers:
+    def test_table1(self):
+        rows = table1_rows(duration=6 * 3_600.0, seed=2)
+        assert len(rows) == 4
+
+    def test_fig3(self):
+        rows = fig3_rows(duration=6 * 3_600.0, seed=2)
+        assert len(rows) == 4
+        assert {r["regime"] for r in rows} <= {"stable", "bursty"}

@@ -1,0 +1,111 @@
+"""Tests for the Lublin-Feitelson-style workload model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.workload.lublin import LublinModel, generate_lublin_trace
+
+
+@pytest.fixture
+def model() -> LublinModel:
+    return LublinModel()
+
+
+class TestValidation:
+    def test_bad_serial_prob(self):
+        with pytest.raises(ValueError):
+            LublinModel(serial_prob=1.5)
+
+    def test_bad_log_size_order(self):
+        with pytest.raises(ValueError):
+            LublinModel(log_size_low=5.0, log_size_med=3.0)
+
+    def test_bad_gamma_params(self):
+        with pytest.raises(ValueError):
+            LublinModel(runtime_scale_long=0.0)
+
+    def test_bad_duration(self, model):
+        with pytest.raises(ValueError):
+            generate_lublin_trace(model, duration=0.0)
+
+
+class TestSizes:
+    def test_range_and_serial_fraction(self, model):
+        sizes = model.sample_sizes(20_000, make_rng(1, "t"))
+        assert sizes.min() >= 1
+        assert sizes.max() <= model.max_procs
+        serial = (sizes == 1).mean()
+        assert serial == pytest.approx(model.serial_prob, abs=0.02)
+
+    def test_powers_of_two_dominate(self, model):
+        sizes = model.sample_sizes(20_000, make_rng(2, "t"))
+        parallel = sizes[sizes > 1]
+        pow2 = np.log2(parallel) % 1 == 0
+        assert pow2.mean() > 0.5
+
+    def test_empty(self, model):
+        assert model.sample_sizes(0, make_rng(0, "t")).size == 0
+
+
+class TestRuntimes:
+    def test_wide_jobs_run_longer_on_average(self, model):
+        """The hyper-gamma's node dependence: E[runtime | wide] > E[runtime | serial]."""
+        rng = make_rng(3, "t")
+        narrow = model.sample_runtimes(np.ones(30_000, dtype=int), rng)
+        wide = model.sample_runtimes(np.full(30_000, 64), rng)
+        assert wide.mean() > 1.5 * narrow.mean()
+
+    def test_bounds(self, model):
+        rts = model.sample_runtimes(np.full(5_000, 8), make_rng(4, "t"))
+        assert rts.min() >= 1.0
+        assert rts.max() <= model.max_runtime
+
+    def test_long_prob_clipped(self, model):
+        p = model.long_job_probability(np.array([1, 10_000]))
+        assert p[0] >= 0.05 and p[1] <= 0.95
+
+
+class TestArrivals:
+    def test_rate_near_analytic(self, model):
+        arr = model.sample_arrivals(14 * 86_400.0, make_rng(5, "t"))
+        measured = arr.size / (14 * 86_400.0)
+        assert measured == pytest.approx(model.mean_arrival_rate(), rel=0.35)
+
+    def test_daytime_denser_than_night(self, model):
+        arr = model.sample_arrivals(14 * 86_400.0, make_rng(6, "t"))
+        hours = (arr % 86_400.0) / 3_600.0
+        day = ((hours >= 10) & (hours < 18)).sum()
+        night = ((hours >= 0) & (hours < 8)).sum()
+        assert day > night
+
+    def test_sorted(self, model):
+        arr = model.sample_arrivals(86_400.0, make_rng(7, "t"))
+        assert (np.diff(arr) >= 0).all()
+
+
+class TestTrace:
+    def test_valid_and_deterministic(self, model):
+        a = generate_lublin_trace(model, 86_400.0, seed=9)
+        b = generate_lublin_trace(model, 86_400.0, seed=9)
+        assert [(j.submit_time, j.runtime, j.procs) for j in a] == [
+            (j.submit_time, j.runtime, j.procs) for j in b
+        ]
+        assert all(j.user_estimate >= j.runtime for j in a)
+        assert all(1 <= j.procs <= model.max_procs for j in a)
+
+    def test_runs_through_the_engine(self, model):
+        from repro.core.scheduler import FixedScheduler
+        from repro.experiments.engine import ClusterEngine
+        from repro.policies.combined import policy_by_name
+
+        jobs = generate_lublin_trace(
+            LublinModel(max_procs=64, interarrival_scale=2_000.0), 6 * 3_600.0, seed=9
+        )
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-UNICEF-FirstFit"))
+        ).run()
+        assert result.unfinished_jobs == 0
+
+    def test_expected_load_positive(self, model):
+        assert model.expected_load() > 0

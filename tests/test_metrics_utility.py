@@ -1,0 +1,170 @@
+"""Unit/property tests for metrics aggregation and the utility function."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.utility import UtilityFunction
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_table, normalize_series
+from repro.metrics.slowdown import bounded_slowdown
+from repro.workload.job import Job
+
+HOUR = 3_600.0
+
+
+class TestBoundedSlowdown:
+    def test_long_job_plain_slowdown(self):
+        assert bounded_slowdown(wait=100.0, runtime=100.0) == 2.0
+
+    def test_short_job_uses_bound(self):
+        assert bounded_slowdown(wait=90.0, runtime=1.0) == 10.0  # (90+10)/10
+
+    def test_floor_at_one(self):
+        assert bounded_slowdown(wait=0.0, runtime=5.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            bounded_slowdown(1.0, -10.0)
+        with pytest.raises(ValueError):
+            bounded_slowdown(1.0, 10.0, bound=0.0)
+
+
+class TestUtilityFunction:
+    def test_paper_defaults(self):
+        u = UtilityFunction()
+        assert u.kappa == 100.0 and u.alpha == 1.0 and u.beta == 1.0
+
+    def test_perfect_schedule_scores_kappa(self):
+        assert UtilityFunction()(HOUR, HOUR, 1.0) == 100.0
+
+    def test_scales_with_utilization(self):
+        assert UtilityFunction()(HOUR, 2 * HOUR, 1.0) == 50.0
+
+    def test_scales_inverse_with_slowdown(self):
+        assert UtilityFunction()(HOUR, HOUR, 4.0) == 25.0
+
+    def test_alpha_zero_ignores_cost(self):
+        u = UtilityFunction(alpha=0.0)
+        assert u(1.0, 1e9, 2.0) == u(1.0, 1.0, 2.0) == 50.0
+
+    def test_beta_zero_ignores_slowdown(self):
+        u = UtilityFunction(beta=0.0)
+        assert u(HOUR, 2 * HOUR, 100.0) == 50.0
+
+    def test_utilization_clamped_at_one(self):
+        assert UtilityFunction()(10 * HOUR, HOUR, 1.0) == 100.0
+
+    def test_zero_rv_counts_as_perfect(self):
+        assert UtilityFunction()(100.0, 0.0, 1.0) == 100.0
+
+    def test_bsd_floored_at_one(self):
+        assert UtilityFunction()(HOUR, HOUR, 0.5) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityFunction(kappa=0.0)
+        with pytest.raises(ValueError):
+            UtilityFunction(alpha=-1.0)
+        with pytest.raises(ValueError):
+            UtilityFunction()(-1.0, 1.0, 1.0)
+
+    def test_describe(self):
+        assert "RJ/RV" in UtilityFunction().describe()
+
+    @given(
+        rj=st.floats(min_value=0, max_value=1e9),
+        rv=st.floats(min_value=0, max_value=1e9),
+        bsd=st.floats(min_value=1, max_value=1e6),
+        alpha=st.floats(min_value=0, max_value=4),
+        beta=st.floats(min_value=0, max_value=4),
+    )
+    def test_bounded_by_kappa(self, rj, rv, bsd, alpha, beta):
+        u = UtilityFunction(alpha=alpha, beta=beta)
+        score = u(rj, rv, bsd)
+        assert 0.0 <= score <= 100.0 + 1e-9
+
+    @given(
+        rv1=st.floats(min_value=1.0, max_value=1e8),
+        rv2=st.floats(min_value=1.0, max_value=1e8),
+    )
+    def test_monotone_in_cost(self, rv1, rv2):
+        u = UtilityFunction()
+        lo, hi = min(rv1, rv2), max(rv1, rv2)
+        assert u(1e6, lo, 2.0) >= u(1e6, hi, 2.0) - 1e-12
+
+
+def finished_job(jid, submit, start, finish, runtime, procs=1) -> Job:
+    j = Job(job_id=jid, submit_time=submit, runtime=runtime, procs=procs)
+    j.start_time = start
+    j.finish_time = finish
+    return j
+
+
+class TestMetricsCollector:
+    def test_record_and_summarize(self):
+        c = MetricsCollector()
+        c.record_completion(finished_job(1, 0.0, 100.0, 300.0, 200.0, procs=2))
+        c.record_completion(finished_job(2, 50.0, 50.0, 150.0, 100.0))
+        s = c.summarize(rv_seconds=2 * HOUR)
+        assert s.jobs == 2
+        assert s.rj_seconds == 2 * 200.0 + 100.0
+        assert s.rv_seconds == 2 * HOUR
+        assert s.avg_wait == 50.0
+        assert s.max_wait == 100.0
+        # slowdowns: (300/200)=1.5, (100/100)=1.0 -> avg 1.25
+        assert s.avg_bounded_slowdown == pytest.approx(1.25)
+        assert s.utilization == pytest.approx(500.0 / (2 * HOUR))
+        assert s.charged_hours == 2.0
+
+    def test_unfinished_job_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(ValueError):
+            c.record_completion(Job(job_id=1, submit_time=0.0, runtime=1.0, procs=1))
+
+    def test_empty_summary(self):
+        s = MetricsCollector().summarize(rv_seconds=0.0)
+        assert s.jobs == 0
+        assert s.avg_bounded_slowdown == 1.0
+        assert s.utilization == 0.0
+
+    def test_record_fields(self):
+        c = MetricsCollector()
+        rec = c.record_completion(finished_job(1, 10.0, 30.0, 90.0, 60.0, procs=4))
+        assert rec.wait == 20.0
+        assert rec.response == 80.0
+        assert rec.area == 240.0
+        assert rec.slowdown == pytest.approx(80.0 / 60.0)
+
+    def test_row_shape(self):
+        c = MetricsCollector()
+        c.record_completion(finished_job(1, 0.0, 0.0, 100.0, 100.0))
+        row = c.summarize(HOUR).row()
+        assert set(row) == {"jobs", "BSD", "cost[VMh]", "util", "avg_wait[s]"}
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_normalize_series_default_first(self):
+        assert normalize_series([2.0, 4.0, 1.0]) == [1.0, 2.0, 0.5]
+
+    def test_normalize_series_reference(self):
+        assert normalize_series([2.0, 4.0], reference=2.0) == [1.0, 2.0]
+
+    def test_normalize_zero_reference(self):
+        assert normalize_series([0.0, 5.0]) == [0.0, 0.0]
+
+    def test_normalize_empty(self):
+        assert normalize_series([]) == []

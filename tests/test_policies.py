@@ -1,0 +1,304 @@
+"""Unit tests for the 60-policy portfolio: provisioning, job selection,
+VM selection, and the combined allocation routine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policies.base import IdleVM, SchedContext
+from repro.policies.combined import CombinedPolicy, build_portfolio, policy_by_name
+from repro.policies.job_selection import FCFS, LXF, UNICEF, WFP3
+from repro.policies.provisioning import ODA, ODB, ODE, ODM, ODX
+from repro.policies.vm_selection import BestFit, FirstFit, WorstFit
+from repro.workload.job import Job
+
+HOUR = 3_600.0
+
+
+def make_ctx(
+    jobs=(),
+    waits=None,
+    runtimes=None,
+    rented=0,
+    available=0,
+    busy=0,
+    now=1_000.0,
+    max_vms=256,
+) -> SchedContext:
+    jobs = list(jobs)
+    if waits is None:
+        waits = [now - j.submit_time for j in jobs]
+    if runtimes is None:
+        runtimes = [j.runtime for j in jobs]
+    return SchedContext(
+        now=now,
+        queue=jobs,
+        waits=waits,
+        runtimes=runtimes,
+        rented=rented,
+        available=available,
+        busy=busy,
+        max_vms=max_vms,
+    )
+
+
+def job(jid=0, procs=1, runtime=100.0, submit=0.0) -> Job:
+    return Job(job_id=jid, submit_time=submit, runtime=runtime, procs=procs)
+
+
+class TestProvisioning:
+    def test_oda_covers_full_demand(self):
+        ctx = make_ctx([job(1, procs=4), job(2, procs=8)], available=3, rented=5, busy=2)
+        assert ODA().new_vms(ctx) == 12 - 3
+
+    def test_oda_zero_when_supply_covers(self):
+        ctx = make_ctx([job(1, procs=4)], available=10, rented=10)
+        assert ODA().new_vms(ctx) == 0
+
+    def test_odb_counts_busy_as_supply(self):
+        ctx = make_ctx([job(1, procs=4), job(2, procs=8)], available=3, rented=10, busy=7)
+        assert ODB().new_vms(ctx) == 2  # 12 - 10 rented
+
+    def test_ode_packs_work_into_an_hour(self):
+        # 2 jobs x 4 procs x 1800 s = 4 VM-hours of work
+        jobs = [job(1, procs=4, runtime=1_800.0), job(2, procs=4, runtime=1_800.0)]
+        ctx = make_ctx(jobs, available=0, rented=0)
+        assert ODE().new_vms(ctx) == 4
+
+    def test_ode_at_least_widest_job(self):
+        ctx = make_ctx([job(1, procs=16, runtime=10.0)], available=0)
+        assert ODE().new_vms(ctx) == 16
+
+    def test_ode_uses_provided_runtimes_not_actual(self):
+        jobs = [job(i, procs=1, runtime=60.0) for i in range(4)]
+        # 2 h estimates -> 8 VM-hours of believed work -> capped at the 4
+        # queued processors; accurate 60 s runtimes would need just 1 VM
+        ctx = make_ctx(jobs, runtimes=[7_200.0] * 4, available=0)
+        assert ODE().new_vms(ctx) == 4
+        ctx2 = make_ctx(jobs, runtimes=[60.0] * 4, available=0)
+        assert ODE().new_vms(ctx2) == 1
+
+    def test_ode_capped_at_total_queued_procs(self):
+        # one 4-proc job for 10 hours: naive work/3600 would be 10 VMs,
+        # but the job can only ever use 4
+        jobs = [job(1, procs=4, runtime=36_000.0)]
+        ctx = make_ctx(jobs, available=0)
+        assert ODE().new_vms(ctx) == 4
+
+    def test_odm_supplies_widest(self):
+        ctx = make_ctx([job(1, procs=4), job(2, procs=32)], available=10)
+        assert ODM().new_vms(ctx) == 22
+
+    def test_odm_empty_queue(self):
+        assert ODM().new_vms(make_ctx([])) == 0
+
+    def test_odx_only_urgent_jobs(self):
+        # job A waited 300 s with runtime 100 -> BSD (300+100)/100 = 4 > 2: urgent
+        # job B waited 10 s  with runtime 100 -> 1.1: not urgent
+        jobs = [job(1, procs=4, runtime=100.0), job(2, procs=8, runtime=100.0)]
+        ctx = make_ctx(jobs, waits=[300.0, 10.0], available=1)
+        assert ODX().new_vms(ctx) == 3  # 4 urgent procs minus 1 available
+
+    def test_odx_threshold_exactly_two_not_urgent(self):
+        jobs = [job(1, procs=4, runtime=100.0)]
+        ctx = make_ctx(jobs, waits=[100.0], available=0)
+        assert ODX().new_vms(ctx) == 0  # (100+100)/100 == 2, not > 2
+
+    def test_odx_short_jobs_use_bound(self):
+        # runtime 1 s: denom = 10; wait 25 -> (25+10)/10 = 3.5 > 2
+        jobs = [job(1, procs=2, runtime=1.0)]
+        ctx = make_ctx(jobs, waits=[25.0], available=0)
+        assert ODX().new_vms(ctx) == 2
+
+    def test_all_policies_nonnegative_on_empty_queue(self):
+        ctx = make_ctx([], available=5, rented=5)
+        for policy in (ODA(), ODB(), ODE(), ODM(), ODX()):
+            assert policy.new_vms(ctx) == 0
+
+    def test_default_keep_rule(self):
+        policy = ODA()
+        needy = make_ctx([job(1, procs=5)], available=3, rented=3)
+        assert policy.keep_idle_vm(needy, 0.0) is True
+        idle = make_ctx([], available=3, rented=3)
+        assert policy.keep_idle_vm(idle, 0.0) is False
+
+
+class TestJobSelection:
+    def test_fcfs_orders_by_wait(self):
+        jobs = [job(1, submit=50.0), job(2, submit=10.0)]
+        ctx = make_ctx(jobs, now=100.0)
+        assert FCFS().order(ctx) == [1, 0]  # job 2 waited longer
+
+    def test_lxf_prefers_short_jobs(self):
+        jobs = [job(1, runtime=1_000.0), job(2, runtime=10.0)]
+        ctx = make_ctx(jobs, waits=[100.0, 100.0])
+        assert LXF().order(ctx) == [1, 0]
+
+    def test_wfp3_prefers_parallel_jobs(self):
+        jobs = [job(1, procs=1, runtime=100.0), job(2, procs=32, runtime=100.0)]
+        ctx = make_ctx(jobs, waits=[50.0, 50.0])
+        assert WFP3().order(ctx) == [1, 0]
+
+    def test_unicef_prefers_small_short_jobs(self):
+        jobs = [job(1, procs=32, runtime=1_000.0), job(2, procs=1, runtime=10.0)]
+        ctx = make_ctx(jobs, waits=[100.0, 100.0])
+        assert UNICEF().order(ctx) == [1, 0]
+
+    def test_unicef_sequential_jobs_no_division_by_zero(self):
+        jobs = [job(1, procs=1, runtime=10.0)]
+        ctx = make_ctx(jobs, waits=[100.0])
+        prio = UNICEF().priorities(ctx)
+        assert math.isfinite(prio[0]) and prio[0] > 0
+
+    def test_ties_break_by_queue_position(self):
+        jobs = [job(1), job(2)]
+        ctx = make_ctx(jobs, waits=[10.0, 10.0])
+        assert FCFS().order(ctx) == [0, 1]
+
+    def test_priorities_align_with_queue(self):
+        jobs = [job(i) for i in range(5)]
+        ctx = make_ctx(jobs, waits=[1.0, 2.0, 3.0, 4.0, 5.0])
+        for policy in (FCFS(), LXF(), WFP3(), UNICEF()):
+            assert len(policy.priorities(ctx)) == 5
+
+    def test_zero_runtime_estimates_guarded(self):
+        jobs = [job(1, runtime=0.0)]
+        ctx = make_ctx(jobs, waits=[10.0], runtimes=[0.0])
+        for policy in (LXF(), WFP3(), UNICEF()):
+            assert math.isfinite(policy.priorities(ctx)[0])
+
+
+class TestVMSelection:
+    def _idle(self):
+        # remaining paid time: 600 s, 1800 s, 3000 s
+        return [
+            IdleVM(vm_id=10, remaining_paid=600.0),
+            IdleVM(vm_id=11, remaining_paid=1_800.0),
+            IdleVM(vm_id=12, remaining_paid=3_000.0),
+        ]
+
+    def test_first_fit_takes_in_order(self):
+        assert FirstFit().select(self._idle(), 2, 100.0, HOUR) == [0, 1]
+
+    def test_best_fit_minimises_leftover(self):
+        # runtime 500: leftovers are 100, 1300, 2500 -> pick vm 10
+        assert BestFit().select(self._idle(), 1, 500.0, HOUR) == [0]
+
+    def test_worst_fit_maximises_leftover(self):
+        assert WorstFit().select(self._idle(), 1, 500.0, HOUR) == [2]
+
+    def test_wraparound_when_job_crosses_boundary(self):
+        # runtime 700 on vm with 600 left: leftover (600-700) % 3600 = 3500
+        idle = [IdleVM(0, 600.0), IdleVM(1, 800.0)]
+        # leftovers: 3500 vs 100 -> BestFit picks index 1
+        assert BestFit().select(idle, 1, 700.0, HOUR) == [1]
+
+    def test_finishing_exactly_on_boundary_is_best(self):
+        idle = [IdleVM(0, 500.0), IdleVM(1, 480.0)]
+        # leftovers: 20 vs 0 -> exact fit wins
+        assert BestFit().select(idle, 1, 480.0, HOUR) == [1]
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            FirstFit().select(self._idle(), 4, 100.0, HOUR)
+        with pytest.raises(ValueError):
+            FirstFit().select(self._idle(), -1, 100.0, HOUR)
+
+    def test_select_zero(self):
+        assert BestFit().select(self._idle(), 0, 100.0, HOUR) == []
+
+
+class TestCombined:
+    def test_portfolio_has_60_unique_policies(self):
+        port = build_portfolio()
+        assert len(port) == 60
+        assert len({p.name for p in port}) == 60
+
+    def test_canonical_order(self):
+        port = build_portfolio()
+        assert port[0].name == "ODA-FCFS-BestFit"
+        assert port[1].name == "ODA-FCFS-FirstFit"
+        assert port[3].name == "ODA-LXF-BestFit"
+        assert port[12].name == "ODB-FCFS-BestFit"
+        assert port[-1].name == "ODX-WFP3-WorstFit"
+
+    def test_policy_by_name(self):
+        p = policy_by_name("ODX-UNICEF-FirstFit")
+        assert p.provisioning.name == "ODX"
+        assert p.job_selection.name == "UNICEF"
+        with pytest.raises(KeyError):
+            policy_by_name("NOPE")
+
+    def test_new_vms_clamped_by_headroom(self):
+        policy = policy_by_name("ODA-FCFS-FirstFit")
+        ctx = make_ctx([job(1, procs=64)], rented=250, available=0, max_vms=256)
+        assert policy.new_vms(ctx) == 6
+
+    def test_allocate_starts_fitting_jobs(self):
+        policy = policy_by_name("ODA-FCFS-FirstFit")
+        jobs = [job(1, procs=2, submit=0.0), job(2, procs=1, submit=10.0)]
+        ctx = make_ctx(jobs, now=100.0)
+        idle = [IdleVM(i, HOUR) for i in range(3)]
+        allocs = policy.allocate(ctx, idle)
+        assert len(allocs) == 2
+        assert allocs[0].queue_index == 0 and len(allocs[0].vm_ids) == 2
+        assert allocs[1].queue_index == 1 and len(allocs[1].vm_ids) == 1
+
+    def test_allocate_no_backfilling(self):
+        """A blocked head job stalls everything behind it."""
+        policy = policy_by_name("ODA-FCFS-FirstFit")
+        jobs = [job(1, procs=8, submit=0.0), job(2, procs=1, submit=10.0)]
+        ctx = make_ctx(jobs, now=100.0)
+        idle = [IdleVM(i, HOUR) for i in range(3)]
+        assert policy.allocate(ctx, idle) == []
+
+    def test_allocate_vms_never_double_assigned(self):
+        policy = policy_by_name("ODA-FCFS-BestFit")
+        jobs = [job(i, procs=2) for i in range(4)]
+        ctx = make_ctx(jobs, waits=[4.0, 3.0, 2.0, 1.0])
+        idle = [IdleVM(i, HOUR - 100 * i) for i in range(8)]
+        allocs = policy.allocate(ctx, idle)
+        used = [vid for a in allocs for vid in a.vm_ids]
+        assert len(used) == len(set(used)) == 8
+
+    def test_allocate_empty_inputs(self):
+        policy = build_portfolio()[0]
+        assert policy.allocate(make_ctx([]), [IdleVM(0, HOUR)]) == []
+        assert policy.allocate(make_ctx([job(1)]), []) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=0, max_value=12),
+    n_idle=st.integers(min_value=0, max_value=20),
+    policy_idx=st.integers(min_value=0, max_value=59),
+    data=st.data(),
+)
+def test_allocation_invariants(n_jobs, n_idle, policy_idx, data):
+    """For any portfolio policy and any queue/fleet: allocations reference
+    valid queue slots, use exactly procs VMs each, and never reuse a VM."""
+    policy = build_portfolio()[policy_idx]
+    jobs = [
+        job(
+            i,
+            procs=data.draw(st.integers(min_value=1, max_value=8)),
+            runtime=data.draw(st.floats(min_value=1.0, max_value=1e5)),
+        )
+        for i in range(n_jobs)
+    ]
+    waits = [data.draw(st.floats(min_value=0.0, max_value=1e5)) for _ in jobs]
+    ctx = make_ctx(jobs, waits=waits, rented=n_idle, available=n_idle)
+    idle = [
+        IdleVM(i, data.draw(st.floats(min_value=1.0, max_value=HOUR)))
+        for i in range(n_idle)
+    ]
+    allocs = policy.allocate(ctx, idle, HOUR)
+    used: set[int] = set()
+    for alloc in allocs:
+        assert 0 <= alloc.queue_index < n_jobs
+        assert len(alloc.vm_ids) == jobs[alloc.queue_index].procs
+        assert not (set(alloc.vm_ids) & used)
+        used.update(alloc.vm_ids)
+    # provisioning demand is always non-negative and within the cap
+    assert 0 <= policy.new_vms(ctx) <= ctx.headroom()

@@ -1,0 +1,106 @@
+"""Tests for the extra predictors and the evaluation harness."""
+
+import pytest
+
+from repro.predict.extra import (
+    EwmaPredictor,
+    GlobalMedianPredictor,
+    PredictorEvaluation,
+    UserMeanPredictor,
+    evaluate_predictor,
+)
+from repro.predict.knn import KnnPredictor
+from repro.predict.simple import OraclePredictor, UserEstimatePredictor
+from repro.workload.job import Job
+from repro.workload.synthetic import LPC_EGEE, generate_trace
+
+
+def job(jid, runtime, user=1, estimate=600.0):
+    return Job(job_id=jid, submit_time=float(jid), runtime=runtime, procs=1,
+               user=user, user_estimate=estimate)
+
+
+class TestUserMean:
+    def test_learns_running_mean(self):
+        p = UserMeanPredictor()
+        for jid, rt in enumerate([100.0, 200.0, 300.0]):
+            p.observe_completion(job(jid, rt))
+        assert p.predict(job(9, 1.0)) == 200.0
+
+    def test_fallback_before_history(self):
+        assert UserMeanPredictor().predict(job(0, 1.0, estimate=900.0)) == 900.0
+
+    def test_reset(self):
+        p = UserMeanPredictor()
+        p.observe_completion(job(0, 100.0))
+        p.reset()
+        assert p.predict(job(1, 1.0, estimate=900.0)) == 900.0
+
+
+class TestEwma:
+    def test_recency_weighting(self):
+        p = EwmaPredictor(alpha=0.5)
+        p.observe_completion(job(0, 100.0))
+        p.observe_completion(job(1, 300.0))
+        assert p.predict(job(2, 1.0)) == pytest.approx(200.0)
+
+    def test_alpha_one_tracks_last(self):
+        p = EwmaPredictor(alpha=1.0)
+        p.observe_completion(job(0, 100.0))
+        p.observe_completion(job(1, 700.0))
+        assert p.predict(job(2, 1.0)) == 700.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+
+    def test_per_user(self):
+        p = EwmaPredictor()
+        p.observe_completion(job(0, 100.0, user=1))
+        p.observe_completion(job(1, 900.0, user=2))
+        assert p.predict(job(2, 1.0, user=1)) == 100.0
+
+
+class TestGlobalMedian:
+    def test_median_odd_even(self):
+        p = GlobalMedianPredictor()
+        for jid, rt in enumerate([10.0, 30.0, 20.0]):
+            p.observe_completion(job(jid, rt, user=jid))
+        assert p.predict(job(9, 1.0, user=9)) == 20.0
+        p.observe_completion(job(3, 40.0, user=3))
+        assert p.predict(job(10, 1.0)) == 25.0
+
+    def test_fallback(self):
+        assert GlobalMedianPredictor().predict(job(0, 1.0, estimate=300.0)) == 300.0
+
+
+class TestEvaluation:
+    def test_oracle_is_perfect(self):
+        jobs = generate_trace(LPC_EGEE, duration=6 * 3_600.0, seed=21)
+        ev = evaluate_predictor(OraclePredictor(), jobs)
+        assert ev.accuracy == pytest.approx(1.0)
+        assert ev.median_ratio == pytest.approx(1.0)
+
+    def test_user_estimates_overestimate(self):
+        jobs = generate_trace(LPC_EGEE, duration=6 * 3_600.0, seed=21)
+        ev = evaluate_predictor(UserEstimatePredictor(), jobs)
+        assert ev.overestimate_fraction > 0.8
+        assert ev.median_ratio > 1.5
+        assert ev.accuracy < 0.7
+
+    def test_knn_beats_user_estimates(self):
+        """The premise of §3.2: system predictions beat user estimates."""
+        jobs = generate_trace(LPC_EGEE, duration=12 * 3_600.0, seed=21)
+        knn = evaluate_predictor(KnnPredictor(), jobs)
+        user = evaluate_predictor(UserEstimatePredictor(), jobs)
+        assert knn.accuracy > user.accuracy
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(OraclePredictor(), [])
+
+    def test_row_shape(self):
+        ev = PredictorEvaluation("x", 10, 0.5, 1.2, 0.6)
+        assert set(ev.row()) == {
+            "predictor", "samples", "accuracy", "median pred/actual", "% over",
+        }

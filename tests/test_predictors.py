@@ -1,0 +1,101 @@
+"""Unit tests for the runtime predictors."""
+
+import pytest
+
+from repro.predict.knn import KnnPredictor
+from repro.predict.simple import DEFAULT_ESTIMATE, OraclePredictor, UserEstimatePredictor
+from repro.workload.job import Job
+
+
+def job(jid=0, runtime=100.0, user=1, estimate=-1.0) -> Job:
+    return Job(
+        job_id=jid, submit_time=0.0, runtime=runtime, procs=1,
+        user=user, user_estimate=estimate,
+    )
+
+
+class TestOracle:
+    def test_returns_actual(self):
+        assert OraclePredictor().predict(job(runtime=123.0)) == 123.0
+
+    def test_floors_at_one_second(self):
+        assert OraclePredictor().predict(job(runtime=0.5)) == 1.0
+
+
+class TestUserEstimate:
+    def test_returns_estimate(self):
+        assert UserEstimatePredictor().predict(job(estimate=900.0)) == 900.0
+
+    def test_missing_estimate_falls_back(self):
+        assert UserEstimatePredictor().predict(job(estimate=-1.0)) == DEFAULT_ESTIMATE
+
+
+class TestKnn:
+    def test_no_history_uses_fallback(self):
+        p = KnnPredictor()
+        assert p.predict(job(estimate=600.0)) == 600.0
+
+    def test_single_completion(self):
+        p = KnnPredictor()
+        done = job(jid=1, runtime=50.0)
+        done.finish_time = 100.0
+        p.observe_completion(done)
+        assert p.predict(job(jid=2)) == 50.0
+
+    def test_mean_of_two_most_recent(self):
+        """Tsafrir et al.: average of the TWO most recent completed jobs."""
+        p = KnnPredictor(k=2)
+        for jid, rt in [(1, 100.0), (2, 200.0), (3, 400.0)]:
+            p.observe_completion(job(jid=jid, runtime=rt))
+        # window keeps the last two: (200 + 400) / 2
+        assert p.predict(job(jid=4)) == 300.0
+
+    def test_histories_are_per_user(self):
+        p = KnnPredictor()
+        p.observe_completion(job(jid=1, runtime=100.0, user=1))
+        p.observe_completion(job(jid=2, runtime=900.0, user=2))
+        assert p.predict(job(jid=3, user=1)) == 100.0
+        assert p.predict(job(jid=4, user=2)) == 900.0
+
+    def test_reset_clears_history(self):
+        p = KnnPredictor()
+        p.observe_completion(job(jid=1, runtime=100.0))
+        p.reset()
+        assert p.predict(job(jid=2, estimate=700.0)) == 700.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KnnPredictor(k=0)
+
+    def test_prediction_floored_at_one(self):
+        p = KnnPredictor()
+        p.observe_completion(job(jid=1, runtime=0.1))
+        assert p.predict(job(jid=2)) == 1.0
+
+    def test_accuracy_sample(self):
+        p = KnnPredictor()
+        assert p.accuracy_sample(job(jid=1)) is None
+        p.observe_completion(job(jid=1, runtime=100.0))
+        assert p.accuracy_sample(job(jid=2, runtime=200.0)) == pytest.approx(0.5)
+
+    def test_inaccuracy_is_realistic(self):
+        """On a trace with per-user runtime variability, k-nn is imperfect
+        but orders of magnitude better than user estimates (paper §3.2:
+        accuracy around 50%)."""
+        from repro.workload.synthetic import DAS2_FS0, generate_trace
+
+        jobs = generate_trace(DAS2_FS0, duration=86_400.0, seed=5)
+        p = KnnPredictor()
+        ratios = []
+        for j in jobs:
+            s = p.accuracy_sample(j)
+            if s is not None:
+                ratios.append(s)
+            p.observe_completion(j)
+        assert len(ratios) > 50
+        import numpy as np
+
+        median = float(np.median(ratios))
+        # Imperfect but centred within an order of magnitude of the truth.
+        assert 0.1 < median < 10.0
+        assert not all(abs(r - 1.0) < 1e-9 for r in ratios)

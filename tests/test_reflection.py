@@ -1,0 +1,85 @@
+"""Unit tests for the reflection store."""
+
+import pytest
+
+from repro.core.reflection import ReflectionStore
+
+
+def store_with_history() -> ReflectionStore:
+    s = ReflectionStore()
+    s.record_invocation(0.0, [("A", 10.0), ("B", 20.0)], applied="B")
+    s.record_invocation(20.0, [("A", 30.0), ("C", 5.0)], applied="A")
+    s.record_invocation(40.0, [("B", 50.0)], applied="B")
+    return s
+
+
+class TestRecording:
+    def test_records_every_score(self):
+        s = store_with_history()
+        assert len(s.records) == 5
+
+    def test_applied_flag_set_once(self):
+        s = ReflectionStore()
+        s.record_invocation(0.0, [("A", 1.0), ("A", 2.0)], applied="A")
+        assert sum(1 for r in s.records if r.applied) == 1
+
+    def test_applied_must_be_among_scores(self):
+        s = ReflectionStore()
+        with pytest.raises(ValueError):
+            s.record_invocation(0.0, [("A", 1.0)], applied="Z")
+
+
+class TestInvocationRatios:
+    def test_applied_counts(self):
+        assert store_with_history().applied_counts() == {"B": 2, "A": 1}
+
+    def test_ratio_sums_to_one(self):
+        ratios = store_with_history().invocation_ratio()
+        assert sum(ratios.values()) == pytest.approx(1.0)
+        assert ratios["B"] == pytest.approx(2 / 3)
+
+    def test_empty_ratio(self):
+        assert ReflectionStore().invocation_ratio() == {}
+
+    def test_grouped_ratio(self):
+        s = ReflectionStore()
+        s.record_invocation(0.0, [("ODA-FCFS-BestFit", 1.0)], applied="ODA-FCFS-BestFit")
+        s.record_invocation(1.0, [("ODA-LXF-BestFit", 1.0)], applied="ODA-LXF-BestFit")
+        s.record_invocation(2.0, [("ODB-LXF-BestFit", 1.0)], applied="ODB-LXF-BestFit")
+        assert s.grouped_ratio(1) == {"ODA": pytest.approx(2 / 3), "ODB": pytest.approx(1 / 3)}
+        g2 = s.grouped_ratio(2)
+        assert g2["ODA-FCFS"] == pytest.approx(1 / 3)
+
+    def test_grouped_ratio_validation(self):
+        with pytest.raises(ValueError):
+            ReflectionStore().grouped_ratio(0)
+
+
+class TestReflectionRanking:
+    def test_mean_scores(self):
+        means = store_with_history().mean_scores()
+        assert means["A"] == pytest.approx(20.0)
+        assert means["B"] == pytest.approx(35.0)
+        assert means["C"] == pytest.approx(5.0)
+
+    def test_historical_rank_blends(self):
+        s = store_with_history()
+        # current: A=100, B=0; history: A=20, B=35
+        ranked = s.historical_rank({"A": 100.0, "B": 0.0}, weight=0.5)
+        assert ranked[0][0] == "A"
+        assert ranked[0][1] == pytest.approx(60.0)
+        assert ranked[1][1] == pytest.approx(17.5)
+
+    def test_weight_zero_is_current_only(self):
+        s = store_with_history()
+        ranked = s.historical_rank({"A": 1.0, "B": 2.0}, weight=0.0)
+        assert ranked[0] == ("B", 2.0)
+
+    def test_unknown_policy_keeps_current(self):
+        s = store_with_history()
+        ranked = s.historical_rank({"ZZZ": 42.0}, weight=0.9)
+        assert ranked[0] == ("ZZZ", pytest.approx(42.0))
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            store_with_history().historical_rank({}, weight=1.5)

@@ -1,0 +1,60 @@
+"""Tests for the high-level runner helpers."""
+
+from repro.experiments.runner import (
+    best_policy_per_cluster,
+    run_fixed,
+    run_portfolio,
+    run_provisioning_clusters,
+)
+from repro.policies.combined import policy_by_name
+from repro.predict.knn import KnnPredictor
+from repro.sim.clock import VirtualCostClock
+from repro.workload.synthetic import DAS2_FS0, generate_trace
+
+
+def small_trace():
+    return generate_trace(DAS2_FS0, duration=3 * 3_600.0, seed=19)
+
+
+class TestRunFixed:
+    def test_returns_result(self):
+        result = run_fixed(small_trace(), policy_by_name("ODM-UNICEF-FirstFit"))
+        assert result.unfinished_jobs == 0
+        assert result.scheduler_desc == "ODM-UNICEF-FirstFit"
+
+
+class TestRunPortfolio:
+    def test_returns_result_and_scheduler(self):
+        result, scheduler = run_portfolio(
+            small_trace(), cost_clock=VirtualCostClock(0.01), seed=2
+        )
+        assert result.portfolio_invocations == scheduler.invocations > 0
+
+
+class TestClusterGrid:
+    def test_five_clusters_with_matching_winners(self):
+        grid = run_provisioning_clusters(small_trace())
+        assert set(grid) == {"ODA", "ODB", "ODE", "ODM", "ODX"}
+        for cluster, (policy, result) in grid.items():
+            assert policy.provisioning.name == cluster
+            assert result.unfinished_jobs == 0
+
+    def test_best_policy_names(self):
+        grid = run_provisioning_clusters(small_trace())
+        names = best_policy_per_cluster(grid)
+        assert set(names) == set(grid)
+        assert all(name.startswith(cluster) for cluster, name in names.items())
+
+    def test_fresh_predictor_per_run(self):
+        """The factory must hand a new predictor per run — otherwise k-NN
+        history from one policy's run would leak into the next."""
+        created = []
+
+        def factory():
+            p = KnnPredictor()
+            created.append(p)
+            return p
+
+        run_provisioning_clusters(small_trace()[:30], predictor_factory=factory)
+        assert len(created) == 60
+        assert len(set(map(id, created))) == 60

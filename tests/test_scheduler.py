@@ -1,0 +1,127 @@
+"""Tests for the scheduler frontends and the abstract selection model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.profile import CloudProfile
+from repro.core.framework import AlgorithmSelectionModel, ProblemInstance
+from repro.core.scheduler import FixedScheduler, PortfolioScheduler
+from repro.core.utility import UtilityFunction
+from repro.policies.combined import build_portfolio, policy_by_name
+from repro.sim.clock import VirtualCostClock
+from repro.workload.job import Job
+
+
+def profile(now=0.0) -> CloudProfile:
+    return CloudProfile(now=now, vms=(), max_vms=256, boot_delay=120.0,
+                        billing_period=3_600.0)
+
+
+def jobs(n=3) -> list[Job]:
+    return [Job(job_id=i, submit_time=0.0, runtime=60.0, procs=1) for i in range(n)]
+
+
+class TestFixedScheduler:
+    def test_always_returns_its_policy(self):
+        p = policy_by_name("ODX-LXF-WorstFit")
+        s = FixedScheduler(p)
+        for tick in range(5):
+            assert s.active_policy(tick, jobs(), [0.0] * 3, [60.0] * 3, profile()) is p
+
+    def test_describe(self):
+        assert FixedScheduler(build_portfolio()[0]).describe() == "ODA-FCFS-BestFit"
+
+
+class TestPortfolioScheduler:
+    def make(self, **kw):
+        defaults = dict(cost_clock=VirtualCostClock(0.01), seed=0)
+        defaults.update(kw)
+        return PortfolioScheduler(**defaults)
+
+    def test_selects_on_first_call(self):
+        s = self.make()
+        q = jobs()
+        p = s.active_policy(0, q, [0.0] * 3, [60.0] * 3, profile())
+        assert p is not None
+        assert s.invocations == 1
+
+    def test_respects_selection_period(self):
+        s = self.make(selection_period=4)
+        q = jobs()
+        for tick in range(8):
+            s.active_policy(tick, q, [0.0] * 3, [60.0] * 3, profile(now=tick * 20.0))
+        # selections at ticks 0 and 4 only
+        assert s.invocations == 2
+
+    def test_period_one_selects_every_tick(self):
+        s = self.make(selection_period=1)
+        q = jobs()
+        for tick in range(5):
+            s.active_policy(tick, q, [0.0] * 3, [60.0] * 3, profile(now=tick * 20.0))
+        assert s.invocations == 5
+
+    def test_empty_queue_keeps_active_policy(self):
+        s = self.make()
+        q = jobs()
+        first = s.active_policy(0, q, [0.0] * 3, [60.0] * 3, profile())
+        second = s.active_policy(1, [], [], [], profile(now=20.0))
+        assert second is first
+        assert s.invocations == 1
+
+    def test_reflection_records_applied_policy(self):
+        s = self.make()
+        s.active_policy(0, jobs(), [0.0] * 3, [60.0] * 3, profile())
+        assert len(s.reflection.applied_counts()) == 1
+
+    def test_custom_portfolio(self):
+        members = build_portfolio()[:6]
+        s = self.make(portfolio=members)
+        p = s.active_policy(0, jobs(), [0.0] * 3, [60.0] * 3, profile())
+        assert p in members
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PortfolioScheduler(selection_period=0)
+
+    def test_describe_mentions_config(self):
+        text = self.make(selection_period=2).describe()
+        assert "period=2" in text and "n=60" in text
+
+
+class TestAlgorithmSelectionModel:
+    def test_default_spaces(self):
+        model = AlgorithmSelectionModel()
+        assert len(model.algorithm_space) == 60
+        assert model.performance_space[0] == UtilityFunction()
+
+    def test_problem_instance_validation(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(queue=tuple(jobs(2)), waits=(0.0,), runtimes=(1.0, 1.0),
+                            profile=profile())
+
+    def test_best_algorithm_is_argmax(self):
+        model = AlgorithmSelectionModel(
+            algorithm_space=tuple(build_portfolio()[:9])
+        )
+        problem = ProblemInstance(
+            queue=tuple(jobs(5)),
+            waits=(0.0,) * 5,
+            runtimes=(60.0,) * 5,
+            profile=profile(now=100.0),
+        )
+        best, best_score = model.best_algorithm(problem)
+        score = model.selection_mapping()
+        assert best_score == max(score(problem, a) for a in model.algorithm_space)
+
+    def test_foreign_algorithm_rejected(self):
+        model = AlgorithmSelectionModel(algorithm_space=tuple(build_portfolio()[:3]))
+        score = model.selection_mapping()
+        problem = ProblemInstance(
+            queue=(), waits=(), runtimes=(), profile=profile()
+        )
+        with pytest.raises(ValueError):
+            score(problem, build_portfolio()[-1])
+
+    def test_empty_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            AlgorithmSelectionModel(algorithm_space=())

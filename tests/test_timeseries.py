@@ -1,0 +1,88 @@
+"""Tests for time-series instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import FixedScheduler
+from repro.experiments.engine import ClusterEngine
+from repro.metrics.timeseries import TimeseriesRecorder, TimeseriesSample, sparkline
+from repro.policies.combined import policy_by_name
+from repro.workload.job import Job
+from repro.workload.synthetic import DAS2_FS0, generate_trace
+
+
+def sample(t, q=1, fleet=2, idle=1, policy="P"):
+    return TimeseriesSample(
+        time=t, queue_length=q, queued_procs=q, fleet=fleet, idle=idle,
+        booting=0, busy=fleet - idle, active_policy=policy,
+    )
+
+
+class TestRecorder:
+    def test_collects_and_exposes_series(self):
+        rec = TimeseriesRecorder()
+        for t in range(5):
+            rec(sample(float(t), q=t))
+        assert len(rec.samples) == 5
+        assert rec.series("queue_length").tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert rec.times().tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert rec.peak_queue() == 4
+
+    def test_peaks_and_idle_fraction(self):
+        rec = TimeseriesRecorder()
+        rec(sample(0.0, fleet=4, idle=2))
+        rec(sample(1.0, fleet=8, idle=0))
+        assert rec.peak_fleet() == 8
+        assert rec.mean_idle_fraction() == pytest.approx(0.25)
+
+    def test_empty_recorder(self):
+        rec = TimeseriesRecorder()
+        assert rec.peak_queue() == 0
+        assert rec.peak_fleet() == 0
+        assert rec.mean_idle_fraction() == 0.0
+        assert rec.policy_switches() == 0
+
+    def test_policy_switches(self):
+        rec = TimeseriesRecorder()
+        for name in ("A", "A", "B", "A"):
+            rec(sample(0.0, policy=name))
+        assert rec.policy_switches() == 2
+
+
+class TestSparkline:
+    def test_width_and_monotone_levels(self):
+        line = sparkline(np.array([0.0, 1.0, 2.0, 10.0]), width=4)
+        assert len(line) == 4
+        assert line[-1] == "@"  # the max maps to the top glyph
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_all_zero(self):
+        assert sparkline(np.zeros(10), width=5).strip() == ""
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.ones(3), width=0)
+
+    def test_max_pooling_keeps_spikes(self):
+        values = np.zeros(100)
+        values[50] = 5.0
+        line = sparkline(values, width=10)
+        assert "@" in line
+
+
+class TestEngineIntegration:
+    def test_observer_called_per_tick(self):
+        jobs = generate_trace(DAS2_FS0, duration=2 * 3_600.0, seed=17)
+        rec = TimeseriesRecorder()
+        result = ClusterEngine(
+            jobs,
+            FixedScheduler(policy_by_name("ODA-FCFS-FirstFit")),
+            observer=rec,
+        ).run()
+        assert len(rec.samples) == result.ticks
+        assert all(s.fleet >= s.idle + s.booting for s in rec.samples)
+        assert all(s.active_policy == "ODA-FCFS-FirstFit" for s in rec.samples)
+        times = rec.times()
+        assert (np.diff(times) >= 0).all()

@@ -1,0 +1,90 @@
+"""Tests for user-correlated runtime sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.workload.runtimes import LognormalMixture, UserCorrelatedRuntimes
+
+
+@pytest.fixture
+def mixture() -> LognormalMixture:
+    return LognormalMixture(
+        components=((0.6, 60.0, 1.0), (0.4, 3_600.0, 0.8)),
+        max_runtime=86_400.0,
+    )
+
+
+def sampler(mixture, **kw) -> UserCorrelatedRuntimes:
+    return UserCorrelatedRuntimes(mixture, **kw)
+
+
+class TestValidation:
+    def test_locality_range(self, mixture):
+        with pytest.raises(ValueError):
+            sampler(mixture, locality=1.5)
+
+    def test_within_fraction_range(self, mixture):
+        with pytest.raises(ValueError):
+            sampler(mixture, within_fraction=0.0)
+
+    def test_session_length(self, mixture):
+        with pytest.raises(ValueError):
+            sampler(mixture, session_length=0)
+
+
+class TestStatistics:
+    def test_marginal_mean_preserved(self, mixture):
+        """Locality must not change the marginal distribution: the grand
+        mean matches the plain mixture's analytic mean."""
+        rng = make_rng(1, "t")
+        users = rng.integers(0, 50, size=120_000)
+        x = sampler(mixture).sample_for_users(users, 50, make_rng(2, "t"))
+        assert x.mean() == pytest.approx(mixture.mean(), rel=0.08)
+
+    def test_within_user_correlation(self, mixture):
+        """Consecutive jobs of one user are far more alike than random
+        pairs: the within-user log-variance is well below the marginal."""
+        rng = make_rng(3, "t")
+        users = np.repeat(np.arange(40), 30)  # 30 consecutive jobs per user
+        x = sampler(mixture, locality=1.0).sample_for_users(users, 40, make_rng(4, "t"))
+        logs = np.log(x)
+        within = np.mean(
+            [logs[u * 30 : u * 30 + 12].var() for u in range(40)]
+        )  # one session
+        assert within < 0.5 * logs.var()
+
+    def test_sessions_refresh_levels(self, mixture):
+        """A user's level changes across sessions (no permanent pinning)."""
+        users = np.zeros(240, dtype=int)
+        x = sampler(mixture, locality=1.0, session_length=12).sample_for_users(
+            users, 1, make_rng(5, "t")
+        )
+        session_means = [np.log(x[i : i + 12]).mean() for i in range(0, 240, 12)]
+        assert np.std(session_means) > 0.3
+
+    def test_zero_locality_is_plain_mixture(self, mixture):
+        users = np.zeros(50_000, dtype=int)
+        x = sampler(mixture, locality=0.0).sample_for_users(users, 1, make_rng(6, "t"))
+        assert x.mean() == pytest.approx(mixture.mean(), rel=0.1)
+
+    def test_bounds_respected(self, mixture):
+        users = make_rng(7, "u").integers(0, 10, size=5_000)
+        x = sampler(mixture).sample_for_users(users, 10, make_rng(7, "t"))
+        assert x.min() >= mixture.min_runtime
+        assert x.max() <= mixture.max_runtime
+
+    def test_empty(self, mixture):
+        assert sampler(mixture).sample_for_users(np.array([], dtype=int), 5, make_rng(8, "t")).size == 0
+
+
+class TestKnnBenefit:
+    def test_knn_accuracy_near_paper_with_locality(self):
+        """The point of the feature: k-NN lands near the paper's ~50%."""
+        from repro.predict.extra import evaluate_predictor
+        from repro.predict.knn import KnnPredictor
+        from repro.workload.synthetic import LPC_EGEE, generate_trace
+
+        jobs = generate_trace(LPC_EGEE, duration=2 * 86_400.0, seed=9)
+        ev = evaluate_predictor(KnnPredictor(), jobs)
+        assert 0.35 <= ev.accuracy <= 0.7

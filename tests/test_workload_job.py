@@ -1,0 +1,124 @@
+"""Unit tests for the job model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.job import BOUNDED_SLOWDOWN_BOUND, Job, JobState
+
+
+def make_job(**kw) -> Job:
+    defaults = dict(job_id=1, submit_time=100.0, runtime=50.0, procs=4)
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+class TestValidation:
+    def test_negative_procs_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(procs=-1)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(runtime=-1.0)
+
+    def test_negative_submit_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(submit_time=-5.0)
+
+    def test_initial_state(self):
+        job = make_job()
+        assert job.state is JobState.PENDING
+        assert job.start_time == -1.0
+        assert job.finish_time == -1.0
+
+
+class TestDerived:
+    def test_wait_time_after_start(self):
+        job = make_job()
+        job.start_time = 160.0
+        assert job.wait_time() == 60.0
+
+    def test_wait_time_queued_needs_now(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            job.wait_time()
+        assert job.wait_time(now=130.0) == 30.0
+
+    def test_wait_time_clamped_at_zero(self):
+        assert make_job().wait_time(now=50.0) == 0.0
+
+    def test_response_time(self):
+        job = make_job()
+        job.finish_time = 250.0
+        assert job.response_time() == 150.0
+
+    def test_response_unfinished_rejected(self):
+        with pytest.raises(ValueError):
+            make_job().response_time()
+
+    def test_bounded_slowdown_long_job(self):
+        job = make_job(runtime=100.0)
+        job.start_time = 150.0
+        job.finish_time = 250.0
+        # response 150, runtime 100 -> 1.5
+        assert job.bounded_slowdown() == pytest.approx(1.5)
+
+    def test_bounded_slowdown_short_job_uses_bound(self):
+        job = make_job(runtime=1.0)
+        job.start_time = 119.0
+        job.finish_time = 120.0
+        # response 20 over denom max(1, 10) = 10 -> 2.0 (not 20: the bound
+        # keeps extremely short jobs from dominating the metric)
+        assert job.bounded_slowdown() == pytest.approx(2.0)
+
+    def test_bounded_slowdown_never_below_one(self):
+        job = make_job(runtime=1.0)
+        job.start_time = 100.0
+        job.finish_time = 101.0
+        assert job.bounded_slowdown() == 1.0
+
+    def test_current_bounded_slowdown_odx_trigger(self):
+        job = make_job(runtime=20.0)
+        # waited exactly one denom -> factor 2 (the ODX threshold)
+        assert job.current_bounded_slowdown(now=120.0) == pytest.approx(2.0)
+
+    def test_area(self):
+        assert make_job(runtime=50.0, procs=4).area() == 200.0
+
+    def test_fresh_copy_resets_dynamic_state(self):
+        job = make_job()
+        job.state = JobState.FINISHED
+        job.start_time = 1.0
+        job.finish_time = 2.0
+        copy = job.fresh_copy()
+        assert copy.state is JobState.PENDING
+        assert copy.start_time == -1.0
+        assert copy.job_id == job.job_id
+        assert copy.user_estimate == job.user_estimate
+
+
+@given(
+    wait=st.floats(min_value=0, max_value=1e6),
+    runtime=st.floats(min_value=0.1, max_value=1e6),
+)
+def test_bounded_slowdown_at_least_one_and_monotone_in_wait(wait, runtime):
+    job = Job(job_id=0, submit_time=0.0, runtime=runtime, procs=1)
+    job.start_time = wait
+    job.finish_time = wait + runtime
+    sd = job.bounded_slowdown()
+    assert sd >= 1.0
+    # doubling the wait can only increase slowdown
+    job2 = Job(job_id=0, submit_time=0.0, runtime=runtime, procs=1)
+    job2.start_time = 2 * wait
+    job2.finish_time = 2 * wait + runtime
+    assert job2.bounded_slowdown() >= sd - 1e-9
+
+
+@given(runtime=st.floats(min_value=0.1, max_value=1e5))
+def test_short_jobs_bounded_by_the_bound(runtime):
+    """The bound caps the impact of tiny runtimes: a fixed 60 s wait gives
+    slowdown at most (60+bound)/bound."""
+    job = Job(job_id=0, submit_time=0.0, runtime=runtime, procs=1)
+    job.start_time = 60.0
+    job.finish_time = 60.0 + runtime
+    assert job.bounded_slowdown() <= (60.0 + BOUNDED_SLOWDOWN_BOUND) / BOUNDED_SLOWDOWN_BOUND + 1e-9

@@ -1,0 +1,145 @@
+"""Unit tests for SWF parsing/writing and trace cleaning."""
+
+import io
+
+import pytest
+
+from repro.workload.cleaning import clean_jobs, validate_trace
+from repro.workload.job import Job
+from repro.workload.swf import SwfFormatError, parse_swf, write_swf
+
+SAMPLE = """\
+; Version: 2
+; Computer: IBM SP2
+; MaxProcs: 100
+1 0 5 120 4 -1 -1 4 600 -1 1 10 -1 -1 -1 -1 -1 -1
+2 30 0 60 1 -1 -1 1 -1 -1 1 11 -1 -1 -1 -1 -1 -1
+3 60 2 0 8 -1 -1 8 900 -1 0 12 -1 -1 -1 -1 -1 -1
+4 90 1 30 0 -1 -1 16 300 -1 1 13 -1 -1 -1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_parses_jobs_and_skips_comments(self):
+        jobs = list(parse_swf(io.StringIO(SAMPLE)))
+        assert len(jobs) == 4
+        assert jobs[0].job_id == 1
+        assert jobs[0].runtime == 120.0
+        assert jobs[0].procs == 4
+        assert jobs[0].user == 10
+        assert jobs[0].user_estimate == 600.0
+
+    def test_missing_estimate_becomes_minus_one(self):
+        jobs = list(parse_swf(io.StringIO(SAMPLE)))
+        assert jobs[1].user_estimate == -1.0
+
+    def test_missing_alloc_procs_falls_back_to_requested(self):
+        jobs = list(parse_swf(io.StringIO(SAMPLE)))
+        assert jobs[3].procs == 16  # field 5 was 0, field 8 is 16
+
+    def test_short_line_raises(self):
+        with pytest.raises(SwfFormatError, match="expected 18 fields"):
+            list(parse_swf(io.StringIO("1 2 3\n")))
+
+    def test_non_numeric_raises(self):
+        bad = "x " * 18 + "\n"
+        with pytest.raises(SwfFormatError, match="non-numeric"):
+            list(parse_swf(io.StringIO(bad)))
+
+    def test_blank_lines_ignored(self):
+        jobs = list(parse_swf(io.StringIO("\n\n" + SAMPLE + "\n")))
+        assert len(jobs) == 4
+
+
+class TestWriteRoundTrip:
+    def test_round_trip(self):
+        original = [
+            Job(job_id=5, submit_time=10.0, runtime=300.0, procs=2, user=3,
+                user_estimate=600.0),
+            Job(job_id=6, submit_time=20.0, runtime=40.0, procs=1, user=4),
+        ]
+        text = write_swf(original, header="round-trip test")
+        parsed = list(parse_swf(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0].job_id == 5
+        assert parsed[0].user_estimate == 600.0
+        assert parsed[1].user_estimate == -1.0
+        assert parsed[1].procs == 1
+
+    def test_header_is_commented(self):
+        text = write_swf([], header="line1\nline2")
+        assert text.startswith("; line1\n; line2\n")
+
+
+class TestCleaning:
+    def _raw(self):
+        return [
+            Job(job_id=1, submit_time=100.0, runtime=50.0, procs=4),
+            Job(job_id=2, submit_time=150.0, runtime=0.0, procs=4),  # zero rt
+            Job(job_id=3, submit_time=200.0, runtime=50.0, procs=0),  # zero np
+            Job(job_id=4, submit_time=250.0, runtime=50.0, procs=200),  # > system
+            Job(job_id=5, submit_time=300.0, runtime=50.0, procs=100),  # > filter
+            Job(job_id=6, submit_time=350.0, runtime=60.0, procs=64),
+        ]
+
+    def test_rules_applied(self):
+        kept, report = clean_jobs(self._raw(), system_procs=128, max_procs=64)
+        assert [j.job_id for j in kept] == [1, 6]
+        assert report.total == 6
+        assert report.kept == 2
+        assert report.dropped_zero_runtime == 1
+        assert report.dropped_zero_procs == 1
+        assert report.dropped_oversized == 1
+        assert report.dropped_over_filter == 1
+        assert report.kept_fraction == pytest.approx(2 / 6)
+
+    def test_time_normalised_to_zero(self):
+        kept, _ = clean_jobs(self._raw(), system_procs=128)
+        assert kept[0].submit_time == 0.0
+        assert kept[1].submit_time == 250.0
+
+    def test_normalisation_can_be_disabled(self):
+        kept, _ = clean_jobs(self._raw(), system_procs=128, normalize_time=False)
+        assert kept[0].submit_time == 100.0
+
+    def test_no_filter(self):
+        kept, report = clean_jobs(self._raw(), system_procs=128, max_procs=None)
+        assert {j.job_id for j in kept} == {1, 5, 6}
+        assert report.dropped_over_filter == 0
+
+    def test_output_sorted(self):
+        jobs = [
+            Job(job_id=1, submit_time=500.0, runtime=10.0, procs=1),
+            Job(job_id=2, submit_time=100.0, runtime=10.0, procs=1),
+        ]
+        kept, _ = clean_jobs(jobs, system_procs=64)
+        assert [j.job_id for j in kept] == [2, 1]
+
+    def test_invalid_system_procs(self):
+        with pytest.raises(ValueError):
+            clean_jobs([], system_procs=0)
+
+
+class TestValidateTrace:
+    def test_accepts_clean_trace(self):
+        kept, _ = clean_jobs(
+            [Job(job_id=i, submit_time=float(i), runtime=10.0, procs=1) for i in range(5)],
+            system_procs=64,
+        )
+        validate_trace(kept)  # should not raise
+
+    def test_rejects_unsorted(self):
+        jobs = [
+            Job(job_id=1, submit_time=100.0, runtime=10.0, procs=1),
+            Job(job_id=2, submit_time=50.0, runtime=10.0, procs=1),
+        ]
+        with pytest.raises(ValueError, match="not sorted"):
+            validate_trace(jobs)
+
+    def test_rejects_duplicate_ids(self):
+        jobs = [
+            Job(job_id=1, submit_time=0.0, runtime=10.0, procs=1),
+            Job(job_id=1, submit_time=1.0, runtime=10.0, procs=1),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_trace(jobs)

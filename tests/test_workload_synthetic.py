@@ -1,0 +1,294 @@
+"""Tests for arrival processes, runtime mixtures, estimates, and the four
+calibrated trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import make_rng
+from repro.workload.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    diurnal_factor,
+)
+from repro.workload.estimates import RoundedEstimates
+from repro.workload.runtimes import LognormalMixture, PowerOfTwoProcs, SequentialProcs
+from repro.workload.stats import arrival_histogram, burstiness_index, summarize_trace
+from repro.workload.synthetic import TRACES, generate_trace
+
+DAY = 86_400.0
+
+
+class TestPoisson:
+    def test_rate_matches(self):
+        rng = make_rng(1, "t")
+        arr = PoissonArrivals(0.01).sample(10 * DAY, rng)
+        rate = arr.size / (10 * DAY)
+        assert rate == pytest.approx(0.01, rel=0.1)
+
+    def test_sorted_and_in_range(self):
+        rng = make_rng(2, "t")
+        arr = PoissonArrivals(0.005).sample(DAY, rng)
+        assert (np.diff(arr) >= 0).all()
+        assert arr.min() >= 0 and arr.max() < DAY
+
+    def test_zero_rate_empty(self):
+        assert PoissonArrivals(0.0).sample(DAY, make_rng(0, "t")).size == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+    def test_mean_arrival_rate(self):
+        assert PoissonArrivals(0.3).mean_arrival_rate() == 0.3
+
+
+class TestDiurnal:
+    def test_factor_peaks_at_peak_hour(self):
+        peak = diurnal_factor(14 * 3600.0, day_amplitude=0.5, peak_hour=14.0)
+        trough = diurnal_factor(2 * 3600.0, day_amplitude=0.5, peak_hour=14.0)
+        assert peak == pytest.approx(1.5)
+        assert peak > trough
+
+    def test_weekend_factor_applies_on_saturday(self):
+        saturday = 5 * DAY + 12 * 3600.0
+        weekday = 12 * 3600.0
+        f_sat = diurnal_factor(saturday, 0.0, 14.0, weekend_factor=0.5)
+        f_wd = diurnal_factor(weekday, 0.0, 14.0, weekend_factor=0.5)
+        assert f_sat == pytest.approx(0.5 * f_wd)
+
+    def test_effective_rate_construction(self):
+        proc = DiurnalArrivals.with_effective_rate(0.01, weekend_factor=0.5)
+        assert proc.mean_arrival_rate() == pytest.approx(0.01)
+
+    def test_empirical_rate_matches_analytic(self):
+        proc = DiurnalArrivals.with_effective_rate(0.02, weekend_factor=0.6)
+        arr = proc.sample(28 * DAY, make_rng(3, "t"))
+        assert arr.size / (28 * DAY) == pytest.approx(0.02, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(-1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, day_amplitude=1.5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, weekend_factor=-0.1)
+
+
+class TestBursty:
+    def _proc(self) -> BurstyArrivals:
+        return BurstyArrivals(
+            quiet_rate=0.001, burst_rate=0.1, mean_quiet=7_200.0, mean_burst=900.0
+        )
+
+    def test_rate_matches_analytic(self):
+        proc = self._proc()
+        counts = [
+            proc.sample(14 * DAY, make_rng(s, "t")).size / (14 * DAY)
+            for s in range(6)
+        ]
+        assert np.mean(counts) == pytest.approx(proc.mean_arrival_rate(), rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        proc = self._proc()
+        flat = PoissonArrivals(proc.mean_arrival_rate())
+        rng1, rng2 = make_rng(4, "a"), make_rng(4, "b")
+        span = 14 * DAY
+        b_idx = burstiness_index(
+            np.histogram(proc.sample(span, rng1), bins=int(span // 600))[0]
+        )
+        p_idx = burstiness_index(
+            np.histogram(flat.sample(span, rng2), bins=int(span // 600))[0]
+        )
+        assert b_idx > 5 * p_idx
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(-1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1, 1, 0, 1)
+
+
+class TestLognormalMixture:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LognormalMixture(components=((0.5, 100.0, 1.0),))
+
+    def test_sample_within_bounds(self):
+        mix = LognormalMixture(
+            components=((1.0, 100.0, 2.0),), min_runtime=5.0, max_runtime=1_000.0
+        )
+        x = mix.sample(5_000, make_rng(5, "t"))
+        assert x.min() >= 5.0 and x.max() <= 1_000.0
+
+    def test_empirical_mean_near_analytic(self):
+        mix = LognormalMixture(components=((0.6, 60.0, 0.5), (0.4, 3_600.0, 0.5)))
+        x = mix.sample(200_000, make_rng(6, "t"))
+        assert x.mean() == pytest.approx(mix.mean(), rel=0.05)
+
+    def test_zero_n(self):
+        mix = LognormalMixture(components=((1.0, 10.0, 1.0),))
+        assert mix.sample(0, make_rng(0, "t")).size == 0
+
+
+class TestProcsDistributions:
+    def test_power_of_two_values(self):
+        dist = PowerOfTwoProcs()
+        x = dist.sample(10_000, make_rng(7, "t"))
+        assert set(np.unique(x)) <= {1, 2, 4, 8, 16, 32, 64}
+
+    def test_max_procs_cap(self):
+        dist = PowerOfTwoProcs(max_procs=16)
+        x = dist.sample(10_000, make_rng(8, "t"))
+        assert x.max() <= 16
+
+    def test_mean_analytic(self):
+        dist = PowerOfTwoProcs(weights=(0.5, 0.5))
+        assert dist.mean() == pytest.approx(1.5)
+
+    def test_sequential_all_ones(self):
+        x = SequentialProcs().sample(100, make_rng(9, "t"))
+        assert (x == 1).all()
+        assert SequentialProcs().mean() == 1.0
+
+
+class TestEstimates:
+    def test_estimates_cover_runtime(self):
+        model = RoundedEstimates()
+        rts = np.array([5.0, 100.0, 4_000.0, 100_000.0])
+        est = model.sample(rts, make_rng(10, "t"))
+        assert (est >= rts).all()
+
+    def test_estimates_land_on_bins_or_cap(self):
+        model = RoundedEstimates()
+        rts = np.full(1_000, 30.0)
+        est = model.sample(rts, make_rng(11, "t"))
+        allowed = set(model.bins) | {model.cap}
+        assert set(np.unique(est)) <= allowed
+
+    def test_heavy_overestimation_tail(self):
+        """PWA estimates are orders of magnitude high for short jobs."""
+        model = RoundedEstimates()
+        rts = np.full(5_000, 20.0)
+        est = model.sample(rts, make_rng(12, "t"))
+        assert np.median(est / rts) > 2.0
+        assert np.quantile(est / rts, 0.95) > 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundedEstimates(inflation_sigma=-1.0)
+        with pytest.raises(ValueError):
+            RoundedEstimates(bins=())
+
+
+class TestCalibratedTraces:
+    @pytest.mark.parametrize("spec", TRACES, ids=lambda s: s.name)
+    def test_expected_load_near_paper(self, spec):
+        """Analytic offered load within 15% of the published utilisation."""
+        assert spec.expected_load() == pytest.approx(spec.paper_load, rel=0.15)
+
+    @pytest.mark.parametrize("spec", TRACES, ids=lambda s: s.name)
+    def test_arrival_rate_near_table1(self, spec):
+        assert spec.arrivals.mean_arrival_rate() == pytest.approx(
+            spec.mean_rate(), rel=0.20
+        )
+
+    @pytest.mark.parametrize("spec", TRACES, ids=lambda s: s.name)
+    def test_generated_trace_valid(self, spec):
+        jobs = generate_trace(spec, duration=2 * DAY, seed=11)
+        assert jobs, "trace must not be empty"
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+        assert all(1 <= j.procs <= 64 for j in jobs)
+        assert all(j.runtime >= 1.0 for j in jobs)
+        assert all(j.user_estimate >= j.runtime for j in jobs)
+        assert all(0 <= j.user < spec.n_users for j in jobs)
+
+    def test_determinism(self):
+        a = generate_trace(TRACES[0], duration=DAY, seed=3)
+        b = generate_trace(TRACES[0], duration=DAY, seed=3)
+        assert [(j.submit_time, j.runtime, j.procs) for j in a] == [
+            (j.submit_time, j.runtime, j.procs) for j in b
+        ]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(TRACES[0], duration=DAY, seed=3)
+        b = generate_trace(TRACES[0], duration=DAY, seed=4)
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+    def test_bursty_traces_are_bursty_stable_are_not(self):
+        idx = {}
+        for spec in TRACES:
+            jobs = generate_trace(spec, duration=7 * DAY, seed=5)
+            idx[spec.name] = burstiness_index(
+                arrival_histogram(jobs, 600.0, span=7 * DAY)
+            )
+        assert idx["DAS2-fs0"] > 5 * idx["KTH-SP2"]
+        assert idx["LPC-EGEE"] > 5 * idx["SDSC-SP2"]
+        assert idx["KTH-SP2"] < 5.0
+
+    def test_lpc_is_sequential(self):
+        jobs = generate_trace(TRACES[3], duration=DAY, seed=6)
+        assert all(j.procs == 1 for j in jobs)
+
+    def test_scaled_spec(self):
+        spec = TRACES[0].scaled(2.0)
+        assert spec.arrivals.mean_arrival_rate() == pytest.approx(
+            2.0 * TRACES[0].arrivals.mean_arrival_rate()
+        )
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_trace(TRACES[0], duration=0.0)
+
+
+class TestStats:
+    def test_summary_fields(self):
+        jobs = generate_trace(TRACES[0], duration=DAY, seed=1)
+        s = summarize_trace("x", jobs, 100, span=DAY)
+        assert s.jobs == len(jobs)
+        assert s.jobs_le_64 == len(jobs)
+        assert s.pct_le_64 == 1.0
+        assert 0 < s.load < 2.0
+        assert s.row()["CPUs"] == 100
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace("x", [], 10)
+
+    def test_histogram_counts_everything(self):
+        jobs = generate_trace(TRACES[0], duration=DAY, seed=1)
+        h = arrival_histogram(jobs, 600.0, span=DAY)
+        assert h.sum() == len(jobs)
+        assert h.size == int(DAY // 600)
+
+    def test_histogram_invalid_bin(self):
+        with pytest.raises(ValueError):
+            arrival_histogram([], bin_seconds=0.0)
+
+    def test_burstiness_poisson_near_one(self):
+        rng = make_rng(13, "t")
+        arr = PoissonArrivals(0.02).sample(7 * DAY, rng)
+        counts, _ = np.histogram(arr, bins=int(7 * DAY // 600))
+        assert burstiness_index(counts) == pytest.approx(1.0, abs=0.3)
+
+    def test_burstiness_empty(self):
+        assert burstiness_index(np.array([])) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    duration=st.floats(min_value=3_600.0, max_value=3 * DAY),
+)
+def test_generate_trace_invariants(seed, duration):
+    """Any seed/duration yields a sorted, valid, in-horizon trace."""
+    jobs = generate_trace(TRACES[2], duration=duration, seed=seed)
+    prev = 0.0
+    for job in jobs:
+        assert 0.0 <= job.submit_time < duration
+        assert job.submit_time >= prev
+        prev = job.submit_time
+        assert job.runtime >= 1.0
+        assert 1 <= job.procs <= 64
