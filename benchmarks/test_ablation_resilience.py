@@ -1,0 +1,104 @@
+"""Ablation (extension; the paper assumes reliable VMs, §3.1): portfolio
+utility under an unreliable cloud, with and without checkpointing.
+
+Sweeps VM MTBF from the paper's reliable baseline down to one hour on
+DAS2-fs0, crossing restart-from-scratch against periodic checkpointing
+(10-minute interval), plus a correlated-outage row.  Failed work is
+re-run, so shrinking the MTBF inflates both slowdown and cost; the
+question the sweep answers is how much of that loss checkpointing buys
+back for long-running jobs.
+"""
+
+from _common import run_once, save_and_show
+
+from repro.cloud.failures import FailureModel
+from repro.experiments.cache import cached_portfolio_run
+from repro.experiments.configs import DEFAULT_SCALE, portfolio_kwargs
+from repro.experiments.engine import EngineConfig
+from repro.metrics.report import format_table
+from repro.resilience import CheckpointPolicy, FaultModel, RetryPolicy
+from repro.workload.synthetic import DAS2_FS0
+
+HOUR = 3_600.0
+MTBFS = (None, 24 * HOUR, HOUR)  # reliable baseline -> hostile cloud
+CHECKPOINT = CheckpointPolicy(interval_seconds=600.0, overhead_seconds=30.0)
+
+
+def _config(mtbf, checkpoint, faults=None):
+    kwargs = {}
+    if mtbf is not None:
+        kwargs["failures"] = FailureModel(mtbf_seconds=mtbf, seed=11)
+        kwargs["max_job_retries"] = 10
+    if checkpoint:
+        kwargs["checkpoint"] = CHECKPOINT
+    if faults is not None:
+        kwargs["faults"] = faults
+        kwargs["lease_retry"] = RetryPolicy()
+        kwargs["max_job_retries"] = 10
+    return EngineConfig(**kwargs)
+
+
+def _row(label, config):
+    duration, seed = DEFAULT_SCALE.sweep_duration, DEFAULT_SCALE.seed
+    result, _ = cached_portfolio_run(
+        DAS2_FS0, duration, seed, "oracle", config=config, **portfolio_kwargs()
+    )
+    m, r9 = result.metrics, result.resilience
+    return {
+        "scenario": label,
+        "BSD": round(m.avg_bounded_slowdown, 3),
+        "cost[VMh]": round(m.charged_hours, 1),
+        "utility": round(result.utility, 3),
+        "kills": r9.job_kills,
+        "failed": r9.jobs_failed,
+        "wasted[CPUh]": round(r9.wasted_cpu_seconds / HOUR, 2),
+        "ckpt-saved[CPUh]": round(r9.checkpoint_saved_cpu_seconds / HOUR, 2),
+    }
+
+
+def _rows():
+    rows = []
+    for mtbf in MTBFS:
+        name = "reliable" if mtbf is None else f"MTBF {mtbf / HOUR:g}h"
+        rows.append(_row(f"{name} / restart", _config(mtbf, checkpoint=False)))
+        if mtbf is not None:
+            rows.append(_row(f"{name} / checkpoint", _config(mtbf, checkpoint=True)))
+    outage = FaultModel(
+        seed=11,
+        outage_mtbo_seconds=6 * HOUR,
+        outage_duration_seconds=900.0,
+        outage_kill_fraction=1.0,
+    )
+    rows.append(_row("outages 4/day / checkpoint",
+                     _config(HOUR, checkpoint=True, faults=outage)))
+    return rows
+
+
+def test_ablation_resilience(benchmark):
+    rows = run_once(benchmark, _rows)
+    save_and_show(
+        "ablation_resilience",
+        format_table(
+            rows,
+            title="Ablation — portfolio utility on an unreliable cloud (DAS2-fs0)",
+        ),
+    )
+    by = {r["scenario"]: r for r in rows}
+    reliable = by["reliable / restart"]
+    restart_24 = by["MTBF 24h / restart"]
+    ckpt_24 = by["MTBF 24h / checkpoint"]
+    # failures cost utility: unreliable clouds are no better than the baseline
+    assert restart_24["utility"] <= reliable["utility"] + 1e-9
+    assert restart_24["kills"] > 0
+    # checkpointing recovers most of the utility restart-from-scratch loses
+    # to re-running long jobs, and demonstrably banks progress
+    assert ckpt_24["utility"] > restart_24["utility"]
+    assert ckpt_24["ckpt-saved[CPUh]"] > 0
+    assert ckpt_24["wasted[CPUh]"] < restart_24["wasted[CPUh]"]
+    # the hostile extreme: hour-scale MTBF multiplies kills, and even there
+    # checkpointing wastes less work than restarting
+    assert by["MTBF 1h / restart"]["kills"] > restart_24["kills"]
+    assert (by["MTBF 1h / checkpoint"]["wasted[CPUh]"]
+            < by["MTBF 1h / restart"]["wasted[CPUh]"])
+    # the outage scenario exercises the correlated-failure path end to end
+    assert by["outages 4/day / checkpoint"]["kills"] > 0

@@ -43,6 +43,12 @@ from repro.metrics.timeseries import TimeseriesRecorder
 from repro.policies import CombinedPolicy, build_portfolio, policy_by_name
 from repro.policies.backfilling import BackfillingPolicy, build_backfilling_portfolio
 from repro.predict import KnnPredictor, OraclePredictor, UserEstimatePredictor
+from repro.resilience import (
+    CheckpointPolicy,
+    FaultModel,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.workload.lublin import LublinModel, generate_lublin_trace
 from repro.workload.workflows import (
     Workflow,
@@ -71,6 +77,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlgorithmSelectionModel",
     "BackfillingPolicy",
+    "CheckpointPolicy",
     "CloudProfile",
     "CloudProvider",
     "ClusterEngine",
@@ -79,6 +86,7 @@ __all__ = [
     "EngineConfig",
     "ExperimentResult",
     "FailureModel",
+    "FaultModel",
     "FixedScheduler",
     "Job",
     "KTH_SP2",
@@ -91,6 +99,8 @@ __all__ = [
     "PortfolioScheduler",
     "ProviderConfig",
     "ReflectionStore",
+    "ResilienceStats",
+    "RetryPolicy",
     "SDSC_SP2",
     "Scheduler",
     "SummaryMetrics",

@@ -71,6 +71,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--system-procs", type=int, default=128,
                        help="source system size for SWF cleaning")
 
+    chaos = p_run.add_argument_group(
+        "fault injection & resilience",
+        "unreliable-cloud extension: all knobs off reproduces the paper's "
+        "reliable-VM model; every fault stream is deterministic per --seed",
+    )
+    chaos.add_argument("--mtbf", type=float, metavar="SECONDS",
+                       help="mean exponential VM lifetime (VM failure injection)")
+    chaos.add_argument("--lease-fault-rate", type=float, default=0.0,
+                       metavar="P", help="P[lease request fails transiently]")
+    chaos.add_argument("--partial-grant-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="P[lease request only partially granted]")
+    chaos.add_argument("--boot-fail-rate", type=float, default=0.0, metavar="P",
+                       help="P[a leased VM never becomes ready]")
+    chaos.add_argument("--boot-jitter", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="lognormal long-tail scale added to boot delays")
+    chaos.add_argument("--outage-rate", type=float, default=0.0,
+                       metavar="PER_DAY",
+                       help="mean correlated outage windows per simulated day")
+    chaos.add_argument("--outage-duration", type=float, default=900.0,
+                       metavar="SECONDS", help="mean outage window length")
+    chaos.add_argument("--outage-kill-fraction", type=float, default=0.5,
+                       metavar="P",
+                       help="P[each on-demand VM dies when an outage opens]")
+    chaos.add_argument("--checkpoint-interval", type=float, metavar="SECONDS",
+                       help="periodic checkpointing: killed jobs resume from "
+                       "their last checkpoint instead of restarting")
+    chaos.add_argument("--max-job-retries", type=int, metavar="N",
+                       help="kill budget per job before it ends FAILED "
+                       "(default: unlimited)")
+
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("name", choices=_FIGURES)
 
@@ -109,6 +141,39 @@ def _load_jobs(args: argparse.Namespace) -> list[Job]:
     return jobs
 
 
+def _resilience_config(args: argparse.Namespace) -> dict:
+    """EngineConfig kwargs for the fault/resilience CLI knobs."""
+    from repro.cloud.failures import FailureModel
+    from repro.resilience import CheckpointPolicy, FaultModel, RetryPolicy
+
+    kwargs: dict = {}
+    if args.mtbf is not None:
+        kwargs["failures"] = FailureModel(mtbf_seconds=args.mtbf, seed=args.seed)
+    fault_knobs = (
+        args.lease_fault_rate or args.partial_grant_rate
+        or args.boot_fail_rate or args.boot_jitter or args.outage_rate
+    )
+    if fault_knobs:
+        kwargs["faults"] = FaultModel(
+            seed=args.seed,
+            lease_fault_rate=args.lease_fault_rate,
+            partial_grant_rate=args.partial_grant_rate,
+            boot_fail_rate=args.boot_fail_rate,
+            boot_jitter_scale=args.boot_jitter,
+            outage_mtbo_seconds=(86_400.0 / args.outage_rate
+                                 if args.outage_rate else None),
+            outage_duration_seconds=args.outage_duration,
+            outage_kill_fraction=args.outage_kill_fraction,
+        )
+        # Faulty control planes deserve backoff, not tick-rate hammering.
+        kwargs["lease_retry"] = RetryPolicy()
+    if args.checkpoint_interval is not None:
+        kwargs["checkpoint"] = CheckpointPolicy(args.checkpoint_interval)
+    if args.max_job_retries is not None:
+        kwargs["max_job_retries"] = args.max_job_retries
+    return kwargs
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     jobs = _load_jobs(args)
     if not jobs:
@@ -116,7 +181,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     from repro.cloud.provider import ProviderConfig
 
-    config = EngineConfig(provider=ProviderConfig(max_vms=args.max_vms))
+    config = EngineConfig(
+        provider=ProviderConfig(max_vms=args.max_vms), **_resilience_config(args)
+    )
     predictor = _predictor(args.predictor)
     if args.policy == "portfolio":
         result, scheduler = run_portfolio(
@@ -143,6 +210,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         **extra,
     }
     print(format_table([row], title="run result"))
+    r9 = result.resilience
+    if r9.any_activity or result.unfinished_jobs:
+        row = {**r9.row(), "unfinished": result.unfinished_jobs}
+        print(format_table([row], title="resilience"))
     return 0
 
 

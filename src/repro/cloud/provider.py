@@ -116,6 +116,34 @@ class CloudProvider:
                 total += self.terminate(vm, now)
         return total
 
+    def settle_stragglers(self, now: float, reserved_discount: float = 1.0) -> float:
+        """Book charges for VMs still BUSY at *now* (stalled-run cleanup).
+
+        :meth:`terminate_all` and :meth:`finalize_reserved` deliberately
+        skip BUSY VMs, so a run that hits its safety horizon with stuck
+        jobs would otherwise omit those VMs' charges from RV entirely.
+        This settles them — hour-rounded for on-demand, flat-rate for
+        reserved — without touching their (still BUSY) state.  A second
+        call books nothing new, and drained runs have no BUSY VMs, so
+        this is a no-op outside the stalled case.
+        """
+        extra = 0.0
+        for vm in self._fleet.values():
+            if vm.state is not VMState.BUSY:
+                continue
+            if vm.reserved:
+                extra += max(0.0, now - vm.lease_time) * reserved_discount
+            else:
+                extra += self.billing.charged_seconds(vm.lease_time, max(now, vm.lease_time))
+        self.charged_seconds_total += extra
+        # Mark them settled by rebasing the lease clock so a (hypothetical)
+        # later settlement cannot double-charge the same interval.
+        for vm in self._fleet.values():
+            if vm.state is VMState.BUSY:
+                vm.lease_time = max(vm.lease_time, now)
+                vm.ready_time = max(vm.ready_time, vm.lease_time)
+        return extra
+
     def finalize_reserved(self, now: float, discount: float) -> float:
         """Settle every reserved instance's flat-rate bill at run end.
 

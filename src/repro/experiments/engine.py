@@ -33,6 +33,10 @@ from repro.policies.base import IdleVM, SchedContext
 from repro.policies.combined import CombinedPolicy
 from repro.predict.base import RuntimePredictor
 from repro.predict.simple import OraclePredictor
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.resilience.faults import FaultModel
+from repro.resilience.retry import RetryPolicy, RetryState
+from repro.resilience.stats import ResilienceStats
 from repro.sim.events import Event, EventKind
 from repro.sim.kernel import Simulator
 from repro.workload.job import Job, JobState
@@ -69,6 +73,21 @@ class EngineConfig:
     #: an exponential lifetime; a running job is killed and re-queued from
     #: scratch.  ``None`` (default) = the paper's reliable-VM model.
     failures: "FailureModel | None" = None
+    #: Optional injected cloud faults (extension): transient lease
+    #: rejections, partial grants, long-tailed/failed boots, correlated
+    #: outage windows.  Layers on top of ``failures``; ``None`` = none.
+    faults: "FaultModel | None" = None
+    #: Backoff applied to rejected lease requests (decorrelated jitter).
+    #: ``None`` = re-request every scheduling tick, no backoff.
+    lease_retry: "RetryPolicy | None" = None
+    #: Periodic checkpointing: a killed job resumes from its last
+    #: checkpoint instead of restarting from scratch.  ``None`` = the
+    #: paper's rigid restart-from-scratch model.
+    checkpoint: "CheckpointPolicy | None" = None
+    #: Per-job retry budget: a job killed more than this many times ends
+    #: in the terminal FAILED state instead of requeuing forever.
+    #: ``None`` = unlimited retries (seed behaviour).
+    max_job_retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -84,6 +103,10 @@ class EngineConfig:
         if not 0.0 < self.reserved_discount <= 1.0:
             raise ValueError(
                 f"reserved_discount must lie in (0, 1], got {self.reserved_discount}"
+            )
+        if self.max_job_retries is not None and self.max_job_retries < 0:
+            raise ValueError(
+                f"max_job_retries must be >= 0, got {self.max_job_retries}"
             )
 
 
@@ -102,6 +125,14 @@ class ExperimentResult:
     end_time: float
     failures: int = 0
     wasted_cpu_seconds: float = 0.0
+    #: Full unreliability-layer counters (also on ``metrics.resilience``);
+    #: ``failures``/``wasted_cpu_seconds`` above stay as legacy aliases.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+
+    @property
+    def failed_jobs(self) -> int:
+        """Jobs that exhausted their retry budget (terminal FAILED)."""
+        return self.resilience.jobs_failed
 
     @property
     def utility(self) -> float:
@@ -167,6 +198,26 @@ class ClusterEngine:
         self.failures = 0
         self.wasted_cpu_seconds = 0.0
 
+        # Resilience layer (extension): injected faults, lease backoff,
+        # checkpoint progress, and per-job retry budgets.  All of it is
+        # inert (and allocates no RNG streams) when the knobs are off.
+        self._injector = self.config.faults.injector() if self.config.faults else None
+        self._retry_state = RetryState()
+        self._failure_events: dict[int, Event] = {}
+        self._progress: dict[int, float] = {}  # checkpointed seconds per job
+        self._kills: dict[int, int] = {}  # kill count per job
+        self._outage_until = float("-inf")
+        self._last_terminal_time = 0.0
+        self.boot_failures = 0
+        self.lease_rejections = 0
+        self.lease_retries = 0
+        self.vms_denied = 0
+        self.outages = 0
+        self.outage_downtime_seconds = 0.0
+        self.job_kills = 0
+        self.jobs_failed = 0
+        self.checkpoint_saved_cpu_seconds = 0.0
+
         # Workflow support: jobs with unmet dependencies are held back and
         # become eligible (submit time reset to the release instant, so
         # waits measure time-after-eligibility) when their last parent
@@ -197,6 +248,8 @@ class ClusterEngine:
         self.sim.on(EventKind.VM_BOUNDARY, self._on_vm_boundary)
         self.sim.on(EventKind.JOB_FINISH, self._on_job_finish)
         self.sim.on(EventKind.VM_FAIL, self._on_vm_fail)
+        self.sim.on(EventKind.OUTAGE_START, self._on_outage_start)
+        self.sim.on(EventKind.OUTAGE_END, self._on_outage_end)
 
     @staticmethod
     def _check_acyclic(dependencies: "dict[int, tuple[int, ...]]") -> None:
@@ -295,12 +348,10 @@ class ClusterEngine:
                 )
             )
 
-        # Provisioning.
+        # Provisioning (one lease request, subject to injected faults).
         n_new = policy.new_vms(ctx)
         if n_new > 0:
-            for vm in self.provider.lease(n_new, now):
-                sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
-                self._arm_failure(sim, vm)
+            self._provision(sim, n_new, now)
 
         # Allocation.
         idle = self.provider.idle_vms()
@@ -315,7 +366,7 @@ class ClusterEngine:
             started: list[Job] = []
             for alloc in allocations:
                 job = self.queue[alloc.queue_index]
-                finish = now + job.runtime
+                finish = now + self._remaining_runtime(job)
                 vms = [by_id[vid] for vid in alloc.vm_ids]
                 for vm in vms:
                     self._cancel_boundary(vm)
@@ -357,19 +408,38 @@ class ClusterEngine:
         if keep:
             self._schedule_boundary(sim, vm)
         else:
-            self.provider.terminate(vm, sim.now)
+            self._terminate_vm(vm, sim.now)
 
     def _on_vm_fail(self, sim: Simulator, event: Event) -> None:
         vm: VM = event.payload
+        self._failure_events.pop(vm.vm_id, None)
         if not vm.alive:
             return  # already terminated; stale failure event
+        self._fail_vm(sim, vm)
+
+    def _fail_vm(self, sim: Simulator, vm: VM) -> None:
+        """Kill *vm* now: waste/checkpoint its job's work, requeue or fail
+        the job, and terminate (and bill) the instance."""
         self.failures += 1
         now = sim.now
+        if vm.state is VMState.BOOTING:
+            self.boot_failures += 1  # an instance that never became ready
         if vm.state is VMState.BUSY:
             assert vm.job_id is not None
             job = self._jobs_by_id[vm.job_id]
-            # the whole rigid job dies with the VM; partial work is wasted
-            self.wasted_cpu_seconds += job.procs * max(0.0, now - job.start_time)
+            self.job_kills += 1
+            # The whole rigid job dies with the VM.  Work persisted by
+            # completed checkpoints survives; the rest is wasted.
+            elapsed = max(0.0, now - job.start_time)
+            saved = 0.0
+            if self.config.checkpoint is not None:
+                saved = min(self.config.checkpoint.saved_progress(elapsed), elapsed)
+                if saved > 0.0:
+                    self._progress[job.job_id] = (
+                        self._progress.get(job.job_id, 0.0) + saved
+                    )
+                    self.checkpoint_saved_cpu_seconds += job.procs * saved
+            self.wasted_cpu_seconds += job.procs * (elapsed - saved)
             pending_finish = self._finish_events.pop(job.job_id, None)
             if pending_finish is not None:
                 pending_finish.cancel()
@@ -377,20 +447,116 @@ class ClusterEngine:
                 peer.release_job()
                 if peer is not vm:
                     self._schedule_boundary(sim, peer)
-            job.state = JobState.QUEUED
             job.start_time = -1.0
-            self.queue.append(job)
-            if self._tick_event is None:
-                self._tick_event = sim.schedule_at(now, EventKind.SCHEDULE_TICK)
-        self._cancel_boundary(vm)
-        self.provider.terminate(vm, now)
+            kills = self._kills.get(job.job_id, 0) + 1
+            self._kills[job.job_id] = kills
+            budget = self.config.max_job_retries
+            if budget is not None and kills > budget:
+                job.state = JobState.FAILED  # retry budget exhausted
+                self.jobs_failed += 1
+                self._last_terminal_time = max(self._last_terminal_time, now)
+            else:
+                job.state = JobState.QUEUED
+                self.queue.append(job)
+                if self._tick_event is None:
+                    self._tick_event = sim.schedule_at(now, EventKind.SCHEDULE_TICK)
+        self._terminate_vm(vm, now)
+
+    def _remaining_runtime(self, job: Job) -> float:
+        """Execution time still owed: runtime minus checkpointed progress."""
+        if not self._progress:
+            return job.runtime
+        return max(0.0, job.runtime - self._progress.get(job.job_id, 0.0))
 
     def _arm_failure(self, sim: Simulator, vm: VM) -> None:
         """Draw the VM's lifetime and schedule its failure (if modelled)."""
         if self._failure_sampler is None or vm.reserved:
             return
         when = sim.now + self._failure_sampler.time_to_failure()
-        sim.schedule_at(when, EventKind.VM_FAIL, vm)
+        self._failure_events[vm.vm_id] = sim.schedule_at(when, EventKind.VM_FAIL, vm)
+
+    def _arm_faults(self, sim: Simulator, vm: VM) -> None:
+        """Schedule whatever death awaits a freshly leased on-demand VM."""
+        if vm.reserved:
+            return
+        if self._injector is not None and self._injector.boot_fails():
+            # Never becomes ready: dies (and is charged) at its would-be
+            # ready time.  VM_FAIL sorts before VM_READY at that instant.
+            self._failure_events[vm.vm_id] = sim.schedule_at(
+                vm.ready_time, EventKind.VM_FAIL, vm
+            )
+            return
+        self._arm_failure(sim, vm)
+
+    # -- provisioning under faults --------------------------------------------
+
+    def _provision(self, sim: Simulator, requested: int, now: float) -> None:
+        """Issue one lease request for *requested* VMs.
+
+        The request can fail outright (transient API error, open outage
+        window) or be partially granted ("insufficient capacity").  With
+        a :class:`RetryPolicy` configured, rejections back the requester
+        off with decorrelated jitter instead of hammering the control
+        plane every tick.  With no faults configured this reduces to the
+        seed's plain ``provider.lease`` path.
+        """
+        retry = self.config.lease_retry
+        if retry is not None and self._retry_state.blocked(now):
+            return  # still backing off after a rejection
+        if self._retry_state.attempts > 0:
+            self.lease_retries += 1
+        inj = self._injector
+        granted_target = requested
+        rejected = now < self._outage_until or (inj is not None and inj.lease_fails())
+        if not rejected and inj is not None:
+            granted_target = inj.grant(requested)
+            if granted_target < requested:
+                self.vms_denied += requested - granted_target
+            rejected = granted_target == 0  # a zero grant is a rejection
+        if rejected:
+            self.lease_rejections += 1
+            if retry is not None and inj is not None:
+                self._retry_state.record_failure(now, retry, inj.retry_rng)
+            return
+        for vm in self.provider.lease(granted_target, now):
+            if inj is not None:
+                extra = inj.boot_delay_extra()
+                if extra > 0.0:
+                    vm.ready_time += extra  # long-tailed boot
+            sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
+            self._arm_faults(sim, vm)
+        if retry is not None:
+            self._retry_state.record_success()
+
+    # -- correlated outages ----------------------------------------------------
+
+    def _on_outage_start(self, sim: Simulator, event: Event) -> None:
+        if self._finished + self.jobs_failed >= len(self.jobs):
+            return  # workload drained; let the outage chain die out
+        inj = self._injector
+        assert inj is not None
+        now = sim.now
+        self.outages += 1
+        duration = inj.outage_duration()
+        self._outage_until = now + duration
+        self.outage_downtime_seconds += duration
+        # AZ-style correlated kill: each live on-demand VM dies with the
+        # configured probability, in stable id order.
+        for vm in self.provider.vms():
+            if not vm.reserved and inj.outage_kills():
+                self._fail_vm(sim, vm)
+        sim.schedule_at(self._outage_until, EventKind.OUTAGE_END)
+
+    def _on_outage_end(self, sim: Simulator, event: Event) -> None:
+        inj = self._injector
+        assert inj is not None
+        sim.schedule(
+            Event(
+                sim.now + inj.next_outage_in(),
+                EventKind.OUTAGE_START,
+                priority=int(EventKind.VM_FAIL),
+            )
+        )
 
     def _on_job_finish(self, sim: Simulator, event: Event) -> None:
         job: Job = event.payload
@@ -398,6 +564,7 @@ class ClusterEngine:
         job.state = JobState.FINISHED
         job.finish_time = sim.now
         self._finished += 1
+        self._last_terminal_time = max(self._last_terminal_time, sim.now)
         self.metrics.record_completion(job)
         self.predictor.observe_completion(job)
         for vm in self._vms_of_job.pop(job.job_id, []):
@@ -443,10 +610,18 @@ class ClusterEngine:
             return
         idle.sort(key=lambda vm: self.provider.remaining_paid(vm, now))
         for vm in idle[:surplus]:
-            self._cancel_boundary(vm)
-            self.provider.terminate(vm, now)
+            self._terminate_vm(vm, now)
 
-    # -- boundary-event bookkeeping -------------------------------------------
+    # -- per-VM event bookkeeping ---------------------------------------------
+
+    def _terminate_vm(self, vm: VM, now: float) -> None:
+        """Terminate *vm* and cancel its pending boundary AND failure
+        events — otherwise stale VM_FAIL events linger in the heap until
+        their (possibly far-future) timestamps, growing it unboundedly
+        under short MTBFs."""
+        self._cancel_boundary(vm)
+        self._cancel_failure(vm)
+        self.provider.terminate(vm, now)
 
     def _schedule_boundary(self, sim: Simulator, vm: VM) -> None:
         self._cancel_boundary(vm)
@@ -457,6 +632,11 @@ class ClusterEngine:
 
     def _cancel_boundary(self, vm: VM) -> None:
         pending = self._boundary_events.pop(vm.vm_id, None)
+        if pending is not None:
+            pending.cancel()
+
+    def _cancel_failure(self, vm: VM) -> None:
+        pending = self._failure_events.pop(vm.vm_id, None)
         if pending is not None:
             pending.cancel()
 
@@ -472,6 +652,14 @@ class ClusterEngine:
                 self.sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
         for job in self.jobs:
             self.sim.schedule_at(job.submit_time, EventKind.JOB_ARRIVAL, job)
+        if self._injector is not None and self.config.faults.outages_enabled:
+            self.sim.schedule(
+                Event(
+                    self._injector.next_outage_in(),
+                    EventKind.OUTAGE_START,
+                    priority=int(EventKind.VM_FAIL),
+                )
+            )
 
         horizon = self.config.max_sim_time
         if horizon is None and self.jobs:
@@ -483,20 +671,40 @@ class ClusterEngine:
             horizon = last + total_work + 30 * 86_400.0
         self.sim.run(until=horizon)
 
-        # Natural end: the last completion.  The simulator clock sits at
-        # the safety horizon after a drained run, and billing reserved (or
+        # Natural end: the last terminal job event (completion, or a job
+        # exhausting its retry budget).  The simulator clock sits at the
+        # safety horizon after a drained run, and billing reserved (or
         # straggler) capacity up to that sentinel would charge for weeks
         # of non-existent workload.  A stalled run (unfinished jobs) keeps
         # the horizon end, which correctly penalises the stall.
-        if self._finished == len(self.jobs) and self.metrics.records:
-            end = max(r.finish_time for r in self.metrics.records)
+        done = self._finished + self.jobs_failed
+        if done == len(self.jobs) and done > 0:
+            end = self._last_terminal_time
         else:
             end = self.sim.now
         self.provider.terminate_all(end)
         if self.config.reserved_vms:
             self.provider.finalize_reserved(end, self.config.reserved_discount)
-        unfinished = len(self.jobs) - self._finished
-        metrics = self.metrics.summarize(self.provider.charged_seconds_total)
+        # Stalled runs leave BUSY VMs behind; settle their charges too, or
+        # RV under-reports exactly the runs it should penalise.
+        self.provider.settle_stragglers(end, self.config.reserved_discount)
+        unfinished = len(self.jobs) - done
+        stats = ResilienceStats(
+            vm_failures=self.failures,
+            boot_failures=self.boot_failures,
+            lease_rejections=self.lease_rejections,
+            lease_retries=self.lease_retries,
+            vms_denied=self.vms_denied,
+            outages=self.outages,
+            outage_downtime_seconds=self.outage_downtime_seconds,
+            job_kills=self.job_kills,
+            jobs_failed=self.jobs_failed,
+            wasted_cpu_seconds=self.wasted_cpu_seconds,
+            checkpoint_saved_cpu_seconds=self.checkpoint_saved_cpu_seconds,
+        )
+        metrics = self.metrics.summarize(
+            self.provider.charged_seconds_total, resilience=stats
+        )
         invocations = (
             self.scheduler.invocations
             if isinstance(self.scheduler, PortfolioScheduler)
@@ -514,4 +722,5 @@ class ClusterEngine:
             end_time=end,
             failures=self.failures,
             wasted_cpu_seconds=self.wasted_cpu_seconds,
+            resilience=stats,
         )

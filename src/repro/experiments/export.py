@@ -22,6 +22,7 @@ __all__ = ["result_to_dict", "dump_result_json", "rows_to_csv", "dump_rows_csv"]
 def result_to_dict(result: ExperimentResult, include_records: bool = False) -> dict:
     """Flatten a result to plain JSON-safe types."""
     m = result.metrics
+    r9 = result.resilience
     out: dict = {
         "scheduler": result.scheduler_desc,
         "jobs": m.jobs,
@@ -40,6 +41,19 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
         "end_time": result.end_time,
         "failures": result.failures,
         "wasted_cpu_seconds": result.wasted_cpu_seconds,
+        "resilience": {
+            "vm_failures": r9.vm_failures,
+            "boot_failures": r9.boot_failures,
+            "lease_rejections": r9.lease_rejections,
+            "lease_retries": r9.lease_retries,
+            "vms_denied": r9.vms_denied,
+            "outages": r9.outages,
+            "outage_downtime_seconds": r9.outage_downtime_seconds,
+            "job_kills": r9.job_kills,
+            "jobs_failed": r9.jobs_failed,
+            "wasted_cpu_seconds": r9.wasted_cpu_seconds,
+            "checkpoint_saved_cpu_seconds": r9.checkpoint_saved_cpu_seconds,
+        },
     }
     if include_records:
         out["records"] = [

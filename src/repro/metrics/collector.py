@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.metrics.slowdown import bounded_slowdown
+from repro.resilience.stats import ResilienceStats
 from repro.workload.job import Job
 
 __all__ = ["JobRecord", "SummaryMetrics", "MetricsCollector"]
@@ -57,6 +58,8 @@ class SummaryMetrics:
     rv_seconds: float
     avg_wait: float
     max_wait: float
+    #: What the cloud-unreliability layer did (all-zero on reliable runs).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def utilization(self) -> float:
@@ -99,8 +102,11 @@ class MetricsCollector:
         self.records.append(rec)
         return rec
 
-    def summarize(self, rv_seconds: float) -> SummaryMetrics:
+    def summarize(
+        self, rv_seconds: float, resilience: ResilienceStats | None = None
+    ) -> SummaryMetrics:
         """Final metrics given the provider's total charged seconds."""
+        resilience = resilience or ResilienceStats()
         if not self.records:
             return SummaryMetrics(
                 jobs=0,
@@ -109,6 +115,7 @@ class MetricsCollector:
                 rv_seconds=rv_seconds,
                 avg_wait=0.0,
                 max_wait=0.0,
+                resilience=resilience,
             )
         slowdowns = np.array([r.slowdown for r in self.records])
         waits = np.array([r.wait for r in self.records])
@@ -120,4 +127,5 @@ class MetricsCollector:
             rv_seconds=rv_seconds,
             avg_wait=float(waits.mean()),
             max_wait=float(waits.max()),
+            resilience=resilience,
         )

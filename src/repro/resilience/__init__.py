@@ -1,0 +1,39 @@
+"""Cloud-unreliability and resilience subsystem (extension).
+
+The paper evaluates the portfolio scheduler on perfectly reliable IaaS
+resources; its own premise — *long-term* execution on public clouds — is
+exactly the regime where that assumption breaks.  This package turns the
+seed failure toggle (:class:`repro.cloud.failures.FailureModel`) into a
+composable fault-injection and recovery layer:
+
+* :mod:`repro.resilience.faults` — injectable lease faults (transient
+  API errors, partial "insufficient capacity" grants), long-tailed boot
+  delays, boot-time failures, and correlated AZ-style outage windows;
+* :mod:`repro.resilience.retry` — exponential backoff with decorrelated
+  jitter for lease requests, and per-job retry budgets;
+* :mod:`repro.resilience.checkpoint` — periodic checkpointing so a
+  killed job resumes from its last checkpoint instead of restarting
+  from scratch;
+* :mod:`repro.resilience.stats` — the counters every fault-injected run
+  reports.
+
+Everything is deterministic per seed: each fault class draws from its
+own named :func:`repro.sim.rng.make_rng` stream, so toggling one fault
+never perturbs the others and whole chaos runs replay bit-identically.
+With every knob off the engine behaves exactly like the reliable-VM
+reproduction.
+"""
+
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.resilience.faults import FaultInjector, FaultModel
+from repro.resilience.retry import RetryPolicy, RetryState
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "CheckpointPolicy",
+    "FaultInjector",
+    "FaultModel",
+    "RetryPolicy",
+    "RetryState",
+    "ResilienceStats",
+]

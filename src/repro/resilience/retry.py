@@ -1,0 +1,98 @@
+"""Retry with exponential backoff and decorrelated jitter.
+
+Lease requests against a faulty cloud should not be retried every
+scheduler tick: synchronized retries hammer a struggling control plane
+(and, in simulation, waste rejection draws).  :class:`RetryPolicy`
+implements the classic decorrelated-jitter backoff — each delay is drawn
+uniformly from ``[base, previous × multiplier]`` and capped — and
+:class:`RetryState` tracks one in-flight retryable operation.
+
+The same policy object doubles as the per-job retry budget: a job killed
+more than ``max_attempts`` times is better declared failed than requeued
+forever (the engine exposes that knob separately as
+``EngineConfig.max_job_retries``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RetryState"]
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter (capped).
+
+    ``next_delay`` implements ``sleep = min(cap, U(base, prev × mult))``,
+    which de-synchronises concurrent clients while still growing the
+    expected delay geometrically.  ``max_attempts`` bounds how many
+    consecutive failures are retried before the requester gives up on
+    the current demand (the next scheduling tick starts a fresh
+    request).
+    """
+
+    base_delay: float = 20.0
+    max_delay: float = 600.0
+    multiplier: float = 3.0
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def next_delay(self, previous: float, rng: np.random.Generator) -> float:
+        """Draw the next backoff delay after a failure.
+
+        ``previous`` is the last delay used (``<= 0`` for the first
+        failure, which anchors the draw at ``base_delay``).
+        """
+        anchor = max(self.base_delay, previous * self.multiplier)
+        return float(min(self.max_delay, rng.uniform(self.base_delay, anchor)))
+
+
+@dataclass(slots=True)
+class RetryState:
+    """Mutable bookkeeping for one retryable operation."""
+
+    attempts: int = 0
+    prev_delay: float = 0.0
+    blocked_until: float = field(default=-1.0)
+
+    def blocked(self, now: float) -> bool:
+        """Is the operation still backing off at *now*?"""
+        return now < self.blocked_until
+
+    def record_failure(
+        self, now: float, policy: RetryPolicy, rng: np.random.Generator
+    ) -> float:
+        """Book a failure; returns the backoff delay before the next try.
+
+        After ``policy.max_attempts`` consecutive failures the state
+        resets (the caller's *next* demand starts a fresh attempt chain)
+        but the final backoff delay still applies.
+        """
+        self.attempts += 1
+        delay = policy.next_delay(self.prev_delay, rng)
+        self.prev_delay = delay
+        self.blocked_until = now + delay
+        if self.attempts >= policy.max_attempts:
+            self.attempts = 0
+            self.prev_delay = 0.0
+        return delay
+
+    def record_success(self) -> None:
+        self.attempts = 0
+        self.prev_delay = 0.0
+        self.blocked_until = -1.0

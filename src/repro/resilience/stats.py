@@ -1,0 +1,70 @@
+"""Counters surfaced by fault-injected runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResilienceStats"]
+
+
+@dataclass(slots=True, frozen=True)
+class ResilienceStats:
+    """What the unreliability layer did to one run.
+
+    All fields are zero on a reliable-VM run, so every result carries a
+    stats block without changing baseline behaviour.
+    """
+
+    #: VM deaths of any kind (independent lifetimes + outage kills).
+    vm_failures: int = 0
+    #: Subset of ``vm_failures`` that struck while the VM was booting
+    #: (an instance that never became ready — still charged).
+    boot_failures: int = 0
+    #: Lease requests rejected outright (transient API error or open
+    #: outage window).
+    lease_rejections: int = 0
+    #: Lease requests re-issued after at least one rejection.
+    lease_retries: int = 0
+    #: VMs requested but not delivered by partial "insufficient
+    #: capacity" grants.
+    vms_denied: int = 0
+    #: Correlated outage windows that opened during the run.
+    outages: int = 0
+    #: Total seconds of open outage windows.
+    outage_downtime_seconds: float = 0.0
+    #: Times a running job was killed by a VM death.
+    job_kills: int = 0
+    #: Jobs that exhausted their retry budget and ended FAILED.
+    jobs_failed: int = 0
+    #: CPU·seconds of execution lost to kills (work not covered by a
+    #: checkpoint).
+    wasted_cpu_seconds: float = 0.0
+    #: CPU·seconds of killed-job progress preserved by checkpoints.
+    checkpoint_saved_cpu_seconds: float = 0.0
+
+    @property
+    def any_activity(self) -> bool:
+        """Did the unreliability layer do anything at all?"""
+        return bool(
+            self.vm_failures
+            or self.lease_rejections
+            or self.vms_denied
+            or self.outages
+            or self.jobs_failed
+        )
+
+    def row(self) -> dict[str, float]:
+        """Flatten for report tables."""
+        return {
+            "vm_failures": self.vm_failures,
+            "boot_failures": self.boot_failures,
+            "lease_rejections": self.lease_rejections,
+            "lease_retries": self.lease_retries,
+            "vms_denied": self.vms_denied,
+            "outages": self.outages,
+            "outage_downtime[s]": round(self.outage_downtime_seconds, 1),
+            "job_kills": self.job_kills,
+            "jobs_failed": self.jobs_failed,
+            "wasted[CPU·s]": round(self.wasted_cpu_seconds, 1),
+            "ckpt_saved[CPU·s]": round(self.checkpoint_saved_cpu_seconds, 1),
+        }

@@ -36,6 +36,12 @@ class EventKind(enum.IntEnum):
     VM_BOUNDARY = 4
     SCHEDULE_TICK = 5
     GENERIC = 6
+    #: Correlated-outage windows (resilience extension).  OUTAGE_START is
+    #: scheduled with an explicit VM_FAIL priority so same-instant kills
+    #: land before boots/arrivals/ticks; OUTAGE_END only does bookkeeping
+    #: and keeps its default late ordering.
+    OUTAGE_START = 7
+    OUTAGE_END = 8
 
 
 @dataclass(slots=True)

@@ -25,6 +25,7 @@ class JobState(enum.Enum):
     QUEUED = "queued"  # waiting in the scheduler queue
     RUNNING = "running"  # executing on leased VMs
     FINISHED = "finished"
+    FAILED = "failed"  # killed more than its retry budget allows (terminal)
 
 
 @dataclass(slots=True)

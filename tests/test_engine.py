@@ -183,3 +183,29 @@ class TestDeterminismAndConservation:
         assert rv > 0
         assert rv % HOUR == pytest.approx(0.0, abs=1e-6)
         assert rv >= result.metrics.rj_seconds * 0.999 or rv >= HOUR
+
+
+class TestStalledRunBilling:
+    """Regression: a run cut off by the horizon must still bill the live
+    fleet.  ``terminate_all`` skips BUSY VMs, so before the straggler
+    settlement a stalled run reported RV == 0 — under-billing exactly the
+    runs the horizon exists to penalise."""
+
+    def test_stalled_run_bills_busy_vms(self):
+        jobs = jobs_from([(1, 0.0, 10 * HOUR, 1)])
+        config = EngineConfig(max_sim_time=HOUR)
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-FCFS-FirstFit")),
+            config=config,
+        ).run()
+        assert result.unfinished_jobs == 1
+        # one VM busy for the whole (truncated) hour => at least 1 VM-hour
+        assert result.metrics.rv_seconds >= HOUR
+
+    def test_settlement_is_noop_on_drained_runs(self):
+        jobs = jobs_from([(1, 0.0, 100.0, 1)])
+        result = ClusterEngine(
+            jobs, FixedScheduler(policy_by_name("ODA-FCFS-FirstFit"))
+        ).run()
+        assert result.unfinished_jobs == 0
+        assert result.metrics.rv_seconds == HOUR  # one rounded billing hour
