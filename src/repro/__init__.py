@@ -30,6 +30,12 @@ from repro.core import (
     TimeConstrainedSelector,
     UtilityFunction,
 )
+from repro.durability import (
+    DurableRunner,
+    RunInterrupted,
+    SnapshotConfig,
+    SnapshotStore,
+)
 from repro.experiments import (
     ClusterEngine,
     EngineConfig,
@@ -83,6 +89,7 @@ __all__ = [
     "ClusterEngine",
     "CombinedPolicy",
     "DAS2_FS0",
+    "DurableRunner",
     "EngineConfig",
     "ExperimentResult",
     "FailureModel",
@@ -101,8 +108,11 @@ __all__ = [
     "ReflectionStore",
     "ResilienceStats",
     "RetryPolicy",
+    "RunInterrupted",
     "SDSC_SP2",
     "Scheduler",
+    "SnapshotConfig",
+    "SnapshotStore",
     "SummaryMetrics",
     "TRACES",
     "TimeConstrainedSelector",

@@ -19,7 +19,6 @@ import sys
 from typing import Sequence
 
 from repro.experiments.engine import EngineConfig
-from repro.experiments.runner import run_fixed, run_portfolio
 from repro.metrics.report import format_table
 from repro.policies.combined import build_portfolio, policy_by_name
 from repro.predict.knn import KnnPredictor
@@ -57,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     source = p_run.add_mutually_exclusive_group(required=True)
     source.add_argument("--model", choices=sorted(_TRACES))
     source.add_argument("--swf", metavar="PATH", help="Standard Workload Format file")
+    source.add_argument(
+        "--resume", action="store_true",
+        help="continue the run snapshotted in --snapshot-dir (trace, policy "
+        "and fault options are restored from the snapshot and need not be "
+        "repeated)",
+    )
     p_run.add_argument("--hours", type=float, default=24.0)
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument(
@@ -102,6 +107,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-job-retries", type=int, metavar="N",
                        help="kill budget per job before it ends FAILED "
                        "(default: unlimited)")
+
+    durable = p_run.add_argument_group(
+        "durability",
+        "crash-safe execution: periodic atomic snapshots of full run state, "
+        "snapshot-and-exit on SIGINT/SIGTERM, and --resume after a kill; a "
+        "resumed run reproduces the uninterrupted result bit-identically",
+    )
+    durable.add_argument("--snapshot-dir", metavar="DIR",
+                         help="directory for run-state snapshots (enables "
+                         "durable execution)")
+    durable.add_argument("--snapshot-interval", type=float, metavar="SECONDS",
+                         help="wall-clock seconds between snapshots "
+                         "(default 300 when --snapshot-dir is set)")
+    durable.add_argument("--snapshot-every-events", type=int, metavar="N",
+                         help="also snapshot every N simulation events "
+                         "(deterministic trigger, used by tests/CI)")
+    durable.add_argument("--export-json", metavar="PATH",
+                         help="write the final result as JSON (resume-safe: "
+                         "identical to the uninterrupted run's export)")
+
+    failsafe = p_run.add_argument_group(
+        "fail-safe portfolio evaluation",
+        "a policy that raises during online simulation is quarantined "
+        "(scored -inf, demoted to Poor) instead of aborting the run",
+    )
+    failsafe.add_argument("--quarantine-limit", type=int, metavar="N",
+                          help="after N consecutive quarantined evaluations, "
+                          "stop selecting and apply --safe-policy for the "
+                          "rest of the run (default: never fail over)")
+    failsafe.add_argument("--safe-policy", metavar="NAME",
+                          help="fixed policy applied after quarantine "
+                          "failover (default: first portfolio member)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("name", choices=_FIGURES)
@@ -174,31 +211,99 @@ def _resilience_config(args: argparse.Namespace) -> dict:
     return kwargs
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _snapshot_config(args: argparse.Namespace):
+    """Build the SnapshotConfig for --snapshot-dir, or None."""
+    if not args.snapshot_dir:
+        return None
+    from repro.durability import SnapshotConfig
+
+    interval = args.snapshot_interval
+    if interval is None and args.snapshot_every_events is None:
+        interval = 300.0  # durable by default once a directory is given
+    return SnapshotConfig(
+        args.snapshot_dir,
+        interval_seconds=interval,
+        every_events=args.snapshot_every_events,
+    )
+
+
+class SystemExit2(Exception):
+    """Carries (message, exit code) out of the engine builder."""
+
+    def __init__(self, message: str, code: int) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _build_engine(args: argparse.Namespace):
+    """Construct a fresh (never-started) engine from the run arguments."""
+    from repro.cloud.provider import ProviderConfig
+    from repro.core.scheduler import FixedScheduler, PortfolioScheduler
+    from repro.experiments.engine import ClusterEngine
+
     jobs = _load_jobs(args)
     if not jobs:
-        print("no jobs to run", file=sys.stderr)
-        return 1
-    from repro.cloud.provider import ProviderConfig
-
+        raise SystemExit2("no jobs to run", 1)
     config = EngineConfig(
         provider=ProviderConfig(max_vms=args.max_vms), **_resilience_config(args)
     )
     predictor = _predictor(args.predictor)
     if args.policy == "portfolio":
-        result, scheduler = run_portfolio(
-            jobs, predictor, config,
-            cost_clock=VirtualCostClock(0.010), seed=7,
-        )
-        extra = {"selections": result.portfolio_invocations}
+        try:
+            scheduler = PortfolioScheduler(
+                cost_clock=VirtualCostClock(0.010),
+                seed=7,
+                quarantine_limit=args.quarantine_limit,
+                safe_policy=args.safe_policy,
+            )
+        except KeyError as exc:
+            raise SystemExit2(exc.args[0], 2) from exc
     else:
         try:
-            policy = policy_by_name(args.policy)
+            scheduler = FixedScheduler(policy_by_name(args.policy))
         except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        result = run_fixed(jobs, policy, predictor, config)
-        extra = {}
+            raise SystemExit2(exc.args[0], 2) from exc
+    return ClusterEngine(jobs, scheduler, predictor, config)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.durability import DurableRunner, RunInterrupted, SnapshotError
+
+    snap_cfg = _snapshot_config(args)
+    if args.resume and snap_cfg is None:
+        print("--resume requires --snapshot-dir", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            runner = DurableRunner.resume(snap_cfg)
+            if runner.resumed_from.completed:
+                print("snapshot marks the run completed; reporting its result")
+        elif snap_cfg is not None:
+            runner = DurableRunner(_build_engine(args), snap_cfg)
+        else:
+            runner = None
+            result = _build_engine(args).run()
+        if runner is not None:
+            result = runner.run()
+    except SystemExit2 as exc:
+        print(str(exc), file=sys.stderr)
+        return exc.code
+    except SnapshotError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except RunInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        print(
+            f"resume with: repro run --resume --snapshot-dir {args.snapshot_dir}",
+            file=sys.stderr,
+        )
+        return 128 + exc.signum
+
+    is_portfolio = result.scheduler_desc.startswith("portfolio(")
+    extra = {}
+    if is_portfolio:
+        extra["selections"] = result.portfolio_invocations
+        extra["quarantined"] = result.policies_quarantined
     m = result.metrics
     row = {
         "scheduler": result.scheduler_desc,
@@ -210,10 +315,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         **extra,
     }
     print(format_table([row], title="run result"))
+    if result.portfolio_failed_over:
+        print("portfolio failed over to its safe policy "
+              f"after {result.policies_quarantined} quarantined evaluations")
     r9 = result.resilience
     if r9.any_activity or result.unfinished_jobs:
         row = {**r9.row(), "unfinished": result.unfinished_jobs}
         print(format_table([row], title="resilience"))
+    if args.export_json:
+        from repro.experiments.export import dump_result_json
+
+        dump_result_json(result, args.export_json)
+        print(f"wrote {args.export_json}")
     return 0
 
 

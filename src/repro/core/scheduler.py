@@ -98,6 +98,15 @@ class PortfolioScheduler(Scheduler):
         each policy's current utility score with its historical mean from
         the reflection store before picking the winner.  0 (default)
         reproduces the paper; >0 enables the ablation.
+    quarantine_limit:
+        Fail-safe cap: after this many *consecutive* quarantined policy
+        evaluations (exceptions swallowed by the selector), the scheduler
+        stops running Algorithm 1 and permanently applies ``safe_policy``.
+        ``None`` (default) never fails over.
+    safe_policy:
+        The fixed policy applied after failover — a policy object, a
+        portfolio member's name, or ``None`` for the first portfolio
+        member.
     """
 
     def __init__(
@@ -113,6 +122,8 @@ class PortfolioScheduler(Scheduler):
         rv_accounting: str = "total",
         release_rule: str = "eager",
         reflection_weight: float = 0.0,
+        quarantine_limit: int | None = None,
+        safe_policy: CombinedPolicy | str | None = None,
     ) -> None:
         if not 0.0 <= reflection_weight <= 1.0:
             raise ValueError(
@@ -120,6 +131,10 @@ class PortfolioScheduler(Scheduler):
             )
         if selection_period < 1:
             raise ValueError(f"selection_period must be >= 1, got {selection_period}")
+        if quarantine_limit is not None and quarantine_limit < 1:
+            raise ValueError(
+                f"quarantine_limit must be >= 1, got {quarantine_limit}"
+            )
         members = list(portfolio) if portfolio is not None else build_portfolio()
         self.utility = utility or UtilityFunction()
         self.simulator = OnlineSimulator(
@@ -139,6 +154,16 @@ class PortfolioScheduler(Scheduler):
         self.selection_period = int(selection_period)
         self.reflection = ReflectionStore()
         self.reflection_weight = float(reflection_weight)
+        self.quarantine_limit = quarantine_limit
+        if isinstance(safe_policy, str):
+            by_name = {p.name: p for p in members}
+            if safe_policy not in by_name:
+                raise KeyError(
+                    f"safe_policy {safe_policy!r} is not a portfolio member"
+                )
+            safe_policy = by_name[safe_policy]
+        self.safe_policy: CombinedPolicy = safe_policy or members[0]
+        self.failed_over = False
         self._active: CombinedPolicy | None = None
         self._last_selection_tick: int | None = None
         self._by_name = {p.name: p for p in members}
@@ -148,6 +173,11 @@ class PortfolioScheduler(Scheduler):
         """How many times Algorithm 1 ran (Fig. 9d's series)."""
         return self.selector.invocations
 
+    @property
+    def quarantined(self) -> int:
+        """Total policy evaluations quarantined across the run."""
+        return self.selector.quarantined
+
     def active_policy(
         self,
         tick_index: int,
@@ -156,6 +186,8 @@ class PortfolioScheduler(Scheduler):
         runtimes: Sequence[float],
         profile: CloudProfile,
     ) -> CombinedPolicy:
+        if self.failed_over:
+            return self.safe_policy
         due = (
             self._active is None
             or self._last_selection_tick is None
@@ -163,22 +195,40 @@ class PortfolioScheduler(Scheduler):
         )
         if due and queue:
             outcome = self.selector.select(queue, waits, runtimes, profile)
+            if (
+                self.quarantine_limit is not None
+                and self.selector.consecutive_quarantines >= self.quarantine_limit
+            ):
+                # Too many consecutive evaluation failures: the portfolio
+                # machinery itself is suspect.  Stop selecting and apply
+                # the designated safe fixed policy for the rest of the run.
+                self.failed_over = True
+                self._active = self.safe_policy
+                self._last_selection_tick = tick_index
+                return self.safe_policy
             chosen = outcome.best
-            if self.reflection_weight > 0 and outcome.simulated:
+            # Quarantined entries carry −inf scores; keep them out of the
+            # reflection history so historical means stay meaningful.
+            scores = [
+                (ps.policy.name, ps.score)
+                for ps in outcome.simulated
+                if not ps.quarantined
+            ]
+            if self.reflection_weight > 0 and scores:
                 # Reflection step: re-rank this invocation's scores blended
                 # with each policy's historical mean utility.
-                current = {ps.policy.name: ps.score for ps in outcome.simulated}
                 ranked = self.reflection.historical_rank(
-                    current, weight=self.reflection_weight
+                    dict(scores), weight=self.reflection_weight
                 )
                 chosen = self._by_name[ranked[0][0]]
             self._active = chosen
             self._last_selection_tick = tick_index
-            self.reflection.record_invocation(
-                time=profile.now,
-                scores=[(ps.policy.name, ps.score) for ps in outcome.simulated],
-                applied=chosen.name,
-            )
+            if any(name == chosen.name for name, _ in scores):
+                self.reflection.record_invocation(
+                    time=profile.now,
+                    scores=scores,
+                    applied=chosen.name,
+                )
         assert self._active is not None
         return self._active
 

@@ -35,17 +35,49 @@ from repro.policies.combined import CombinedPolicy
 from repro.sim.clock import CostClock, WallCostClock
 from repro.workload.job import Job
 
-__all__ = ["PolicyScore", "TimeConstrainedSelector", "SelectionOutcome"]
+__all__ = [
+    "PolicyScore",
+    "TimeConstrainedSelector",
+    "SelectionOutcome",
+    "QUARANTINE_SCORE",
+    "split_budget",
+]
+
+#: Score assigned to a policy whose online simulation raised: worse than
+#: any real utility, so a quarantined policy can never win an invocation.
+QUARANTINE_SCORE = float("-inf")
+
+
+def split_budget(
+    delta: float, n_smart: int, n_stale: int, n_poor: int
+) -> tuple[float, float, float]:
+    """Split Δ across the three sets proportionally to their sizes.
+
+    Each tranche is clamped to ≥ 0: with an empty Poor set the float sum
+    ``d1 + d2`` can exceed ``delta`` by an ulp, which would make the Poor
+    tranche *negative* and (once leftovers shrink) wrongly veto Poor
+    simulations.
+    """
+    n_total = n_smart + n_stale + n_poor
+    d1 = max(0.0, n_smart / n_total * delta)
+    d2 = max(0.0, n_stale / n_total * delta)
+    d3 = max(0.0, delta - (d1 + d2))
+    return d1, d2, d3
 
 
 @dataclass(slots=True, frozen=True)
 class PolicyScore:
-    """One simulated policy with its utility score and charged cost."""
+    """One simulated policy with its utility score and charged cost.
+
+    ``outcome`` is ``None`` — and ``quarantined`` True — when the online
+    simulation raised instead of returning a score.
+    """
 
     policy: CombinedPolicy
     score: float
     cost: float
-    outcome: SimOutcome
+    outcome: SimOutcome | None
+    quarantined: bool = False
 
 
 @dataclass(slots=True, frozen=True)
@@ -60,6 +92,11 @@ class SelectionOutcome:
     @property
     def n_simulated(self) -> int:
         return len(self.simulated)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Policies whose simulation raised during this invocation."""
+        return sum(1 for ps in self.simulated if ps.quarantined)
 
 
 class TimeConstrainedSelector:
@@ -107,6 +144,11 @@ class TimeConstrainedSelector:
         self.poor: list[CombinedPolicy] = []
         self.invocations = 0
         self.total_simulated = 0
+        #: Total evaluations quarantined (exceptions swallowed) so far.
+        self.quarantined = 0
+        #: Evaluations quarantined since the last *successful* evaluation;
+        #: the scheduler's failover cap watches this.
+        self.consecutive_quarantines = 0
 
     # ------------------------------------------------------------------
 
@@ -118,9 +160,28 @@ class TimeConstrainedSelector:
         runtimes: Sequence[float],
         profile: CloudProfile,
     ) -> PolicyScore:
+        """Evaluate one policy, quarantining it if the simulation raises.
+
+        A raising policy must not abort the whole run (fail-safe portfolio
+        evaluation): it is charged the wall time it burned, scored
+        :data:`QUARANTINE_SCORE`, and demoted to Poor at set-rebuild time.
+        """
         begin = time.perf_counter()
-        outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
+        try:
+            outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
+        except Exception:
+            wall = time.perf_counter() - begin
+            self.quarantined += 1
+            self.consecutive_quarantines += 1
+            return PolicyScore(
+                policy=policy,
+                score=QUARANTINE_SCORE,
+                cost=self.cost_clock.measure(wall, 0),
+                outcome=None,
+                quarantined=True,
+            )
         wall = time.perf_counter() - begin
+        self.consecutive_quarantines = 0
         cost = self.cost_clock.measure(wall, outcome.steps)
         return PolicyScore(policy=policy, score=outcome.score, cost=cost, outcome=outcome)
 
@@ -138,10 +199,9 @@ class TimeConstrainedSelector:
         Poor phase (13-19), set rebuild (20-23), best-first return (24).
         """
         delta = self.time_constraint
-        n_total = len(self.smart) + len(self.stale) + len(self.poor)
-        d1 = len(self.smart) / n_total * delta
-        d2 = len(self.stale) / n_total * delta
-        d3 = delta - (d1 + d2)
+        d1, d2, d3 = split_budget(
+            delta, len(self.smart), len(self.stale), len(self.poor)
+        )
         simulated: list[PolicyScore] = []
         spent = 0.0
 
@@ -175,13 +235,24 @@ class TimeConstrainedSelector:
         self.stale.extend(self.smart)
         self.smart = []
         simulated.sort(key=lambda ps: -ps.score)
-        if simulated:
-            k = max(1, round(self.lam * len(simulated)))
-            self.smart = [ps.policy for ps in simulated[:k]]
-            self.poor.extend(ps.policy for ps in simulated[k:])
-            best = simulated[0].policy
-        else:  # Δ smaller than any single simulation cost: fall back.
-            best = (self.stale or self.poor)[0]
+        # Quarantined policies (score −inf, stably sorted last) are always
+        # demoted to Poor and never promoted to Smart or chosen as best.
+        healthy = [ps for ps in simulated if not ps.quarantined]
+        if healthy:
+            k = max(1, round(self.lam * len(healthy)))
+            self.smart = [ps.policy for ps in healthy[:k]]
+            self.poor.extend(ps.policy for ps in healthy[k:])
+            best = healthy[0].policy
+        else:
+            # Δ smaller than any single simulation cost, or every simulated
+            # policy quarantined: fall back to the freshest leftover.
+            fallback = (
+                self.stale
+                or self.poor
+                or [ps.policy for ps in simulated]
+            )
+            best = fallback[0]
+        self.poor.extend(ps.policy for ps in simulated if ps.quarantined)
 
         self.invocations += 1
         self.total_simulated += len(simulated)

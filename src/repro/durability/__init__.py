@@ -1,0 +1,42 @@
+"""Crash-safe checkpoint/resume of experiment runs.
+
+The paper's premise is *long-term* execution — months of simulated
+workload per trace — so the runner itself must survive an unreliable
+host.  This package provides:
+
+* :class:`SnapshotStore` / :class:`SnapshotConfig` — atomic (temp file +
+  fsync + rename), SHA-256-verified snapshots with a JSON manifest;
+* :class:`RunState` / :class:`CompletedRun` — full-run-state capture
+  (event heap, clock, fleet, billing anchors, RNG streams, portfolio
+  sets, metrics) including the global event sequence counter;
+* :class:`DurableRunner` — drives an engine in bounded event batches,
+  snapshots on wall-clock/event-count triggers and on SIGINT/SIGTERM,
+  and resumes a killed run to a bit-identical final result.
+
+With no snapshot configuration the engine runs exactly as before; the
+subsystem is pure opt-in.
+"""
+
+from repro.durability.runner import DurableRunner, RunInterrupted
+from repro.durability.snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    SnapshotConfig,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotStore,
+)
+from repro.durability.state import CompletedRun, RunState
+
+__all__ = [
+    "DurableRunner",
+    "RunInterrupted",
+    "SnapshotConfig",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "RunState",
+    "CompletedRun",
+    "MANIFEST_NAME",
+    "SNAPSHOT_FORMAT",
+]

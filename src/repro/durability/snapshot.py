@@ -1,0 +1,249 @@
+"""Atomic, integrity-checked snapshot storage.
+
+The write protocol makes a crash at *any* instant recoverable:
+
+1. pickle the state object to bytes and hash it (SHA-256);
+2. write the payload to ``<name>.tmp``, ``fsync`` it, and rename it to
+   its final name (atomic on POSIX);
+3. write a small JSON manifest — sequence number, payload file name,
+   checksum, simulation clock, event count — the same way: temp file,
+   ``fsync``, rename over ``MANIFEST.json``;
+4. best-effort ``fsync`` the directory so both renames are durable.
+
+Because the manifest is replaced only *after* its payload is safely on
+disk, the manifest always points at a complete, verifiable snapshot: a
+kill mid-write leaves at worst an orphaned ``.tmp`` file and the previous
+snapshot intact.  :func:`load_latest` re-hashes the payload before
+unpickling and refuses anything that does not match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SnapshotConfig",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "MANIFEST_NAME",
+    "SNAPSHOT_FORMAT",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+#: Bump when the payload layout changes incompatibly.
+SNAPSHOT_FORMAT = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be written, found, or verified."""
+
+
+@dataclass(slots=True, frozen=True)
+class SnapshotConfig:
+    """Where and how often run state is snapshotted.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory (created on first write).
+    interval_seconds:
+        Wall-clock period between periodic snapshots; ``None`` disables
+        the wall-clock trigger.
+    every_events:
+        Snapshot every N processed simulation events — deterministic
+        across hosts, which is what tests and the CI kill/resume smoke
+        job want.  ``None`` disables the event-count trigger.
+    keep:
+        How many verified snapshots to retain (≥ 1); older payloads are
+        pruned after each successful write.
+    """
+
+    directory: str | Path
+    interval_seconds: float | None = 300.0
+    every_events: int | None = None
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds is not None and self.interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {self.interval_seconds}"
+            )
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError(
+                f"every_events must be >= 1, got {self.every_events}"
+            )
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+
+    @property
+    def path(self) -> Path:
+        return Path(self.directory)
+
+
+@dataclass(slots=True, frozen=True)
+class SnapshotInfo:
+    """Manifest metadata of one verified snapshot."""
+
+    sequence: int
+    payload: str
+    sha256: str
+    sim_time: float
+    events_processed: int
+    completed: bool
+
+    @property
+    def filename(self) -> str:
+        return self.payload
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write *data* to *path* via temp file + fsync + rename."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+class SnapshotStore:
+    """Reads and writes snapshots in one directory."""
+
+    def __init__(self, config: SnapshotConfig) -> None:
+        self.config = config
+        self.directory = config.path
+
+    # -- writing ------------------------------------------------------------
+
+    def write(
+        self,
+        state: Any,
+        sequence: int,
+        sim_time: float,
+        events_processed: int,
+        completed: bool = False,
+    ) -> SnapshotInfo:
+        """Atomically persist *state* as snapshot number *sequence*."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        name = f"snap-{sequence:08d}.pkl"
+        _atomic_write(self.directory / name, payload)
+        info = SnapshotInfo(
+            sequence=sequence,
+            payload=name,
+            sha256=digest,
+            sim_time=float(sim_time),
+            events_processed=int(events_processed),
+            completed=bool(completed),
+        )
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "sequence": info.sequence,
+            "payload": info.payload,
+            "sha256": info.sha256,
+            "sim_time": info.sim_time,
+            "events_processed": info.events_processed,
+            "completed": info.completed,
+        }
+        _atomic_write(
+            self.directory / MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+        )
+        self._prune(current=info.sequence)
+        return info
+
+    def _prune(self, current: int) -> None:
+        """Drop payloads older than the newest ``keep`` snapshots."""
+        cutoff = current - self.config.keep + 1
+        for path in self.directory.glob("snap-*.pkl"):
+            try:
+                seq = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                continue
+            if seq < cutoff:
+                path.unlink(missing_ok=True)
+
+    # -- reading ------------------------------------------------------------
+
+    def manifest(self) -> SnapshotInfo:
+        """Parse and validate the manifest; raise if absent or malformed."""
+        path = self.directory / MANIFEST_NAME
+        if not path.is_file():
+            raise SnapshotError(f"no snapshot manifest at {path}")
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"unreadable snapshot manifest {path}: {exc}") from exc
+        if raw.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"snapshot format {raw.get('format')!r} is not supported "
+                f"(expected {SNAPSHOT_FORMAT})"
+            )
+        try:
+            return SnapshotInfo(
+                sequence=int(raw["sequence"]),
+                payload=str(raw["payload"]),
+                sha256=str(raw["sha256"]),
+                sim_time=float(raw["sim_time"]),
+                events_processed=int(raw["events_processed"]),
+                completed=bool(raw.get("completed", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot manifest {path}: {exc}") from exc
+
+    def load_latest(self) -> tuple[Any, SnapshotInfo]:
+        """Load, verify, and unpickle the snapshot the manifest points at."""
+        info = self.manifest()
+        path = self.directory / info.payload
+        if not path.is_file():
+            raise SnapshotError(f"snapshot payload {path} is missing")
+        payload = path.read_bytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != info.sha256:
+            raise SnapshotError(
+                f"snapshot payload {path} fails its checksum "
+                f"(expected {info.sha256}, got {digest}); refusing to resume"
+            )
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise SnapshotError(f"snapshot payload {path} failed to unpickle: {exc}") from exc
+        return state, info

@@ -1,0 +1,61 @@
+"""What a run snapshot contains, and how to capture/restore it.
+
+A :class:`RunState` pickles the *entire* cluster engine object graph in
+one shot — simulator clock and live event heap, job queue and per-job
+checkpoint progress, VM fleet with billing anchors, metrics accumulators,
+the scheduler (portfolio selector Smart/Stale/Poor sets, reflection
+store), predictor history, and every RNG stream (``numpy`` generators
+pickle bit-exactly).  Pickling one graph preserves aliasing: the Job that
+sits in the queue is the same object referenced by ``_jobs_by_id`` and by
+pending JOB_FINISH events, before and after a round trip.
+
+The only run state living *outside* the engine is the module-level event
+sequence counter (:mod:`repro.sim.events`), which drives same-time event
+tie-breaks; it is captured alongside and restored before the engine
+processes another event, so a resumed run replays bit-identically to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.events import restore_seq, snapshot_seq
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.engine import ClusterEngine, ExperimentResult
+
+__all__ = ["RunState", "CompletedRun"]
+
+
+@dataclass(slots=True)
+class RunState:
+    """A resumable mid-run snapshot."""
+
+    engine: "ClusterEngine"
+    seq: int
+
+    @classmethod
+    def capture(cls, engine: "ClusterEngine") -> "RunState":
+        engine.checkpoint_wall()
+        return cls(engine=engine, seq=snapshot_seq())
+
+    def restore(self) -> "ClusterEngine":
+        """Reinstall global state and hand back the live engine."""
+        restore_seq(self.seq)
+        self.engine.rebase_wall()
+        return self.engine
+
+
+@dataclass(slots=True)
+class CompletedRun:
+    """The terminal snapshot of a finished run.
+
+    Carries the final :class:`ExperimentResult` so a resume of an
+    already-completed run (e.g. the CI kill/resume job losing the race
+    and killing nothing) degenerates to re-reporting the stored result
+    instead of failing.
+    """
+
+    result: "ExperimentResult"

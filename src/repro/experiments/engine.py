@@ -128,6 +128,12 @@ class ExperimentResult:
     #: Full unreliability-layer counters (also on ``metrics.resilience``);
     #: ``failures``/``wasted_cpu_seconds`` above stay as legacy aliases.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: Portfolio policy evaluations quarantined (exceptions swallowed by
+    #: the fail-safe selector); 0 for fixed-policy and healthy runs.
+    policies_quarantined: int = 0
+    #: Did the portfolio scheduler hit its quarantine cap and fall back to
+    #: its designated safe fixed policy?
+    portfolio_failed_over: bool = False
 
     @property
     def failed_jobs(self) -> int:
@@ -240,6 +246,15 @@ class ClusterEngine:
                 if unmet:
                     self._deps_remaining[child] = unmet
             self._check_acyclic(dependencies)
+
+        # Phased-run state (start → advance* → finalize): the durability
+        # layer snapshots between advance() calls, so everything the loop
+        # needs lives on the engine rather than in run()'s locals.
+        self._started = False
+        self._finalized = False
+        self._horizon: float | None = None
+        self._wall_accum = 0.0
+        self._segment_began = 0.0
 
         self.sim = Simulator()
         self.sim.on(EventKind.JOB_ARRIVAL, self._on_arrival)
@@ -642,9 +657,17 @@ class ClusterEngine:
 
     # -- running ----------------------------------------------------------------
 
-    def run(self) -> ExperimentResult:
-        """Replay the whole trace and drain the system; return the metrics."""
-        began = time.perf_counter()
+    def start(self) -> None:
+        """Phase 1: seed the event queue and fix the safety horizon.
+
+        Idempotent-guarded; :meth:`run` is ``start → advance → finalize``,
+        and the durability layer calls the phases separately so it can
+        snapshot between event batches.
+        """
+        if self._started:
+            raise RuntimeError("engine already started")
+        self._started = True
+        self._segment_began = time.perf_counter()
         if self.config.reserved_vms:
             for vm in self.provider.lease(
                 self.config.reserved_vms, now=0.0, reserved=True
@@ -669,7 +692,55 @@ class ClusterEngine:
             # total_work seconds; the cap only exists to break pathological
             # custom policies out of infinite stalls.
             horizon = last + total_work + 30 * 86_400.0
-        self.sim.run(until=horizon)
+        self._horizon = horizon
+
+    def checkpoint_wall(self) -> None:
+        """Fold the running wall-clock segment into the accumulator.
+
+        Called just before a snapshot is pickled: ``perf_counter`` readings
+        are meaningless across processes, so the snapshot must carry only
+        the accumulated total.
+        """
+        now = time.perf_counter()
+        self._wall_accum += now - self._segment_began
+        self._segment_began = now
+
+    def rebase_wall(self) -> None:
+        """Restart the wall-clock segment in this process (after restore)."""
+        self._segment_began = time.perf_counter()
+
+    def advance(self, max_events: int | None = None) -> bool:
+        """Phase 2: process up to *max_events* events inside the horizon.
+
+        Returns True while live events remain within the horizon (i.e. the
+        caller should keep advancing), False once the run has drained.
+        """
+        if not self._started:
+            raise RuntimeError("engine not started; call start() first")
+        processed = 0
+        while True:
+            next_time = self.sim.queue.peek_time()
+            if next_time is None:
+                return False
+            if self._horizon is not None and next_time > self._horizon:
+                return False
+            if max_events is not None and processed >= max_events:
+                return True
+            self.sim.step()
+            processed += 1
+
+    def finalize(self) -> ExperimentResult:
+        """Phase 3: settle billing and summarise the finished run."""
+        if not self._started:
+            raise RuntimeError("engine not started; call start() first")
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        self._finalized = True
+        # Match Simulator.run(until=...): a run stopped by the horizon (or
+        # drained before it) leaves the clock at the horizon so post-run
+        # measurements see a consistent end time.
+        if self._horizon is not None and self.sim.now < self._horizon:
+            self.sim.now = self._horizon
 
         # Natural end: the last terminal job event (completion, or a job
         # exhausting its retry budget).  The simulator clock sits at the
@@ -705,10 +776,10 @@ class ClusterEngine:
         metrics = self.metrics.summarize(
             self.provider.charged_seconds_total, resilience=stats
         )
-        invocations = (
-            self.scheduler.invocations
-            if isinstance(self.scheduler, PortfolioScheduler)
-            else 0
+        is_portfolio = isinstance(self.scheduler, PortfolioScheduler)
+        invocations = self.scheduler.invocations if is_portfolio else 0
+        wall = (
+            self._wall_accum + time.perf_counter() - self._segment_began
         )
         return ExperimentResult(
             metrics=metrics,
@@ -718,9 +789,17 @@ class ClusterEngine:
             unfinished_jobs=unfinished,
             sim_events=self.sim.events_processed,
             ticks=self._tick_index,
-            wall_seconds=time.perf_counter() - began,
+            wall_seconds=wall,
             end_time=end,
             failures=self.failures,
             wasted_cpu_seconds=self.wasted_cpu_seconds,
             resilience=stats,
+            policies_quarantined=self.scheduler.quarantined if is_portfolio else 0,
+            portfolio_failed_over=self.scheduler.failed_over if is_portfolio else False,
         )
+
+    def run(self) -> ExperimentResult:
+        """Replay the whole trace and drain the system; return the metrics."""
+        self.start()
+        self.advance()
+        return self.finalize()

@@ -35,6 +35,8 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
         "max_wait_seconds": m.max_wait,
         "utility": result.utility,
         "portfolio_invocations": result.portfolio_invocations,
+        "policies_quarantined": result.policies_quarantined,
+        "portfolio_failed_over": result.portfolio_failed_over,
         "unfinished_jobs": result.unfinished_jobs,
         "sim_events": result.sim_events,
         "ticks": result.ticks,

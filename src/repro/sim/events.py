@@ -5,18 +5,49 @@ same-time events deterministically, and an arbitrary payload.  The total
 order is ``(time, priority, seq)`` where ``seq`` is a monotonically
 increasing insertion counter, so two events never compare equal and heap
 ordering is stable and reproducible.
+
+The counter is module-level process state.  Crash-safe resume
+(:mod:`repro.durability`) must restore it alongside the event heap —
+otherwise events created after a resume would receive *smaller* sequence
+numbers than events already in the heap, silently changing same-time
+tie-breaks relative to an uninterrupted run.  :func:`snapshot_seq` and
+:func:`restore_seq` exist for exactly that.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-__all__ = ["Event", "EventKind"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.kernel import EventQueue
 
-_seq_counter = itertools.count()
+__all__ = ["Event", "EventKind", "snapshot_seq", "restore_seq"]
+
+_seq = 0
+
+
+def _next_seq() -> int:
+    global _seq
+    value = _seq
+    _seq += 1
+    return value
+
+
+def snapshot_seq() -> int:
+    """Current value of the global event sequence counter."""
+    return _seq
+
+
+def restore_seq(value: int) -> None:
+    """Restore the global event sequence counter (resume support).
+
+    Monotonic by construction: restoring backwards past live events would
+    break the total order, so the counter only ever moves forward.
+    """
+    global _seq
+    _seq = max(_seq, int(value))
 
 
 class EventKind(enum.IntEnum):
@@ -64,8 +95,15 @@ class Event:
     kind: EventKind = EventKind.GENERIC
     payload: Any = None
     priority: int = -1
-    seq: int = field(default_factory=lambda: next(_seq_counter))
+    seq: int = field(default_factory=_next_seq)
     cancelled: bool = False
+    #: The queue currently holding this event, if any.  Maintained by
+    #: :class:`~repro.sim.kernel.EventQueue` so direct ``event.cancel()``
+    #: calls can keep the queue's live-event counter exact; an event
+    #: belongs to at most one queue at a time.
+    owner: "EventQueue | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -79,7 +117,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the queue drops it lazily on pop."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key() < other.sort_key()

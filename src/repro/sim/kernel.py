@@ -22,25 +22,37 @@ class EventQueue:
     """A time-ordered priority queue of :class:`Event` objects.
 
     Cancellation is lazy: :meth:`Event.cancel` marks the event, and the
-    queue silently discards cancelled entries when they surface.
+    queue silently discards cancelled entries when they surface.  A live
+    counter (maintained on push/pop/cancel/clear via the event's back
+    reference) keeps ``len()`` and truthiness O(1) even with millions of
+    lazily cancelled entries in the heap.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
+        self._live = 0
 
     def __len__(self) -> int:
-        """Number of live (non-cancelled) events. O(n); meant for tests."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events. O(1)."""
+        return self._live
 
     def __bool__(self) -> bool:
-        """True if any live event remains (purges cancelled heap tops)."""
-        return self.peek_time() is not None
+        """True if any live event remains."""
+        return self._live > 0
+
+    def _note_cancelled(self) -> None:
+        """Callback from :meth:`Event.cancel` on an event this queue holds."""
+        self._live -= 1
 
     def push(self, event: Event) -> Event:
         """Insert *event* and return it (for later cancellation)."""
         if event.cancelled:
             raise ValueError("cannot push a cancelled event")
+        if event.owner is not None and event.owner is not self:
+            raise ValueError("event already belongs to another queue")
+        event.owner = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event:
@@ -53,14 +65,16 @@ class EventQueue:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.owner = None
             if not event.cancelled:
+                self._live -= 1
                 return event
         raise IndexError("pop from empty event queue")
 
     def peek_time(self) -> float | None:
         """Timestamp of the earliest live event, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).owner = None
         return self._heap[0].time if self._heap else None
 
     def cancel(self, event: Event) -> None:
@@ -69,7 +83,10 @@ class EventQueue:
         event.cancel()
 
     def clear(self) -> None:
+        for event in self._heap:
+            event.owner = None
         self._heap.clear()
+        self._live = 0
 
     def drain(self) -> Iterator[Event]:
         """Pop every live event in order (useful in tests)."""

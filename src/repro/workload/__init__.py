@@ -12,7 +12,7 @@ parses the real traces if you have them.
 from repro.workload.cleaning import CleaningReport, clean_jobs
 from repro.workload.job import Job, JobState
 from repro.workload.stats import TraceSummary, arrival_histogram, summarize_trace
-from repro.workload.swf import parse_swf, parse_swf_file, write_swf
+from repro.workload.swf import SwfIngestReport, parse_swf, parse_swf_file, write_swf
 from repro.workload.synthetic import (
     DAS2_FS0,
     KTH_SP2,
@@ -31,6 +31,7 @@ __all__ = [
     "KTH_SP2",
     "LPC_EGEE",
     "SDSC_SP2",
+    "SwfIngestReport",
     "TRACES",
     "TraceSpec",
     "TraceSummary",

@@ -25,12 +25,20 @@ allocated-processor field is missing we fall back to requested processors
 from __future__ import annotations
 
 import io
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
 from repro.workload.job import Job
 
-__all__ = ["parse_swf", "parse_swf_file", "write_swf", "SwfFormatError"]
+__all__ = [
+    "parse_swf",
+    "parse_swf_file",
+    "write_swf",
+    "SwfFormatError",
+    "SwfIngestReport",
+]
 
 _NUM_FIELDS = 18
 
@@ -39,7 +47,45 @@ class SwfFormatError(ValueError):
     """Raised on malformed SWF data lines."""
 
 
-def _parse_line(line: str, lineno: int) -> Job | None:
+@dataclass(slots=True)
+class SwfIngestReport:
+    """What the parser quarantined from one SWF source.
+
+    Structurally broken lines (wrong field count, non-numeric fields)
+    still raise :class:`SwfFormatError`; this report counts records that
+    parse but carry *semantically invalid* values — negative runtimes,
+    unusable processor counts, submit times running backwards — which
+    real archive traces do contain and which previously leaked through
+    as clamped-to-zero jobs.
+    """
+
+    total: int = 0
+    kept: int = 0
+    negative_runtime: int = 0
+    bad_procs: int = 0
+    non_monotone_submit: int = 0
+    #: Line numbers of quarantined records (for trace forensics).
+    skipped_lines: list[int] = field(default_factory=list)
+
+    @property
+    def skipped(self) -> int:
+        return self.negative_runtime + self.bad_procs + self.non_monotone_submit
+
+    def summary(self) -> str:
+        return (
+            f"skipped {self.skipped}/{self.total} records "
+            f"({self.negative_runtime} negative runtime, "
+            f"{self.bad_procs} unusable processor count, "
+            f"{self.non_monotone_submit} non-monotone submit time)"
+        )
+
+
+def _parse_line(line: str, lineno: int) -> tuple[Job, float] | None:
+    """Parse one data line into ``(job, raw_runtime)``.
+
+    ``raw_runtime`` is the unclamped field value — the caller needs it to
+    tell a genuinely negative runtime from a legitimate zero.
+    """
     fields = line.split()
     if len(fields) < _NUM_FIELDS:
         raise SwfFormatError(
@@ -58,9 +104,7 @@ def _parse_line(line: str, lineno: int) -> Job | None:
 
     if procs <= 0:
         procs = req_procs
-    # Jobs with unusable core fields are returned raw and left to the
-    # cleaning pass (repro.workload.cleaning) to count and drop.
-    return Job(
+    job = Job(
         job_id=job_id,
         submit_time=max(submit, 0.0),
         runtime=max(runtime, 0.0),
@@ -68,28 +112,69 @@ def _parse_line(line: str, lineno: int) -> Job | None:
         user=max(user, 0),
         user_estimate=req_time if req_time > 0 else -1.0,
     )
+    return job, runtime
 
 
-def parse_swf(stream: TextIO | Iterable[str]) -> Iterator[Job]:
+def parse_swf(
+    stream: TextIO | Iterable[str],
+    report: SwfIngestReport | None = None,
+) -> Iterator[Job]:
     """Yield :class:`Job` objects from SWF text.
 
-    Header/comment lines (starting with ``;``) and blank lines are skipped.
-    Submit times are passed through unshifted; use
-    :func:`repro.workload.cleaning.clean_jobs` to normalise and filter.
+    Header/comment lines (starting with ``;``) and blank lines are
+    skipped.  Records with a negative runtime, no usable processor count,
+    or a submit time earlier than the preceding record's (SWF promises
+    non-decreasing submit order) are quarantined — skipped and counted in
+    *report* — rather than passed through; zero-runtime/zero-proc drops
+    beyond that remain the cleaning pass's business
+    (:func:`repro.workload.cleaning.clean_jobs`).
+
+    Submit times are passed through unshifted; use ``clean_jobs`` to
+    normalise and filter.
     """
+    report = report if report is not None else SwfIngestReport()
+    last_submit = float("-inf")
     for lineno, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith(";"):
             continue
-        job = _parse_line(line, lineno)
-        if job is not None:
-            yield job
+        parsed = _parse_line(line, lineno)
+        if parsed is None:  # pragma: no cover - defensive
+            continue
+        job, raw_runtime = parsed
+        report.total += 1
+        if raw_runtime < 0:
+            report.negative_runtime += 1
+            report.skipped_lines.append(lineno)
+            continue
+        if job.procs <= 0:
+            report.bad_procs += 1
+            report.skipped_lines.append(lineno)
+            continue
+        if job.submit_time < last_submit:
+            report.non_monotone_submit += 1
+            report.skipped_lines.append(lineno)
+            continue
+        last_submit = job.submit_time
+        report.kept += 1
+        yield job
 
 
-def parse_swf_file(path: str | Path) -> list[Job]:
-    """Parse an SWF file from disk into a list of jobs."""
+def parse_swf_file(
+    path: str | Path,
+    report: SwfIngestReport | None = None,
+) -> list[Job]:
+    """Parse an SWF file from disk into a list of jobs.
+
+    Quarantined records are counted in *report* (one is created if not
+    supplied) and surfaced as a single :class:`UserWarning` per file.
+    """
+    report = report if report is not None else SwfIngestReport()
     with open(path, "r", encoding="utf-8", errors="replace") as fh:
-        return list(parse_swf(fh))
+        jobs = list(parse_swf(fh, report=report))
+    if report.skipped:
+        warnings.warn(f"{path}: {report.summary()}", stacklevel=2)
+    return jobs
 
 
 def write_swf(jobs: Iterable[Job], stream: TextIO | None = None, header: str = "") -> str:

@@ -88,6 +88,74 @@ class TestPortfolioScheduler:
         assert "period=2" in text and "n=60" in text
 
 
+class CrashingSimulator:
+    """Stand-in online simulator whose evaluate always raises."""
+
+    def evaluate(self, queue, waits, runtimes, profile, policy):
+        raise RuntimeError("boom")
+
+
+class TestFailover:
+    def make(self, **kw):
+        defaults = dict(
+            cost_clock=VirtualCostClock(0.01),
+            seed=0,
+            portfolio=build_portfolio()[:6],
+        )
+        defaults.update(kw)
+        s = PortfolioScheduler(**defaults)
+        s.selector.simulator = CrashingSimulator()
+        return s
+
+    def test_no_limit_never_fails_over(self):
+        s = self.make()
+        for tick in range(5):
+            p = s.active_policy(tick, jobs(), [0.0] * 3, [60.0] * 3,
+                                profile(now=tick * 20.0))
+            assert p is not None
+        assert not s.failed_over
+        assert s.quarantined > 0
+
+    def test_fails_over_at_limit(self):
+        s = self.make(quarantine_limit=3)
+        p = s.active_policy(0, jobs(), [0.0] * 3, [60.0] * 3, profile())
+        # first invocation simulates >= 3 policies, all crash
+        assert s.failed_over
+        assert p is s.safe_policy
+
+    def test_failover_is_permanent_and_stops_selecting(self):
+        s = self.make(quarantine_limit=1)
+        s.active_policy(0, jobs(), [0.0] * 3, [60.0] * 3, profile())
+        assert s.failed_over
+        before = s.invocations
+        p = s.active_policy(5, jobs(), [0.0] * 3, [60.0] * 3, profile(now=100.0))
+        assert p is s.safe_policy
+        assert s.invocations == before  # Algorithm 1 no longer runs
+
+    def test_safe_policy_by_name(self):
+        members = build_portfolio()[:6]
+        s = self.make(portfolio=members, quarantine_limit=1,
+                      safe_policy=members[2].name)
+        s.active_policy(0, jobs(), [0.0] * 3, [60.0] * 3, profile())
+        assert s.safe_policy is members[2]
+
+    def test_unknown_safe_policy_rejected(self):
+        with pytest.raises(KeyError):
+            PortfolioScheduler(
+                portfolio=build_portfolio()[:3], safe_policy="NoSuchPolicy"
+            )
+
+    def test_invalid_quarantine_limit(self):
+        with pytest.raises(ValueError):
+            PortfolioScheduler(quarantine_limit=0)
+
+    def test_default_safe_policy_is_first_member(self):
+        members = build_portfolio()[:4]
+        s = PortfolioScheduler(portfolio=members,
+                               cost_clock=VirtualCostClock(0.01))
+        assert s.safe_policy is members[0]
+
+
 class TestAlgorithmSelectionModel:
     def test_default_spaces(self):
         model = AlgorithmSelectionModel()

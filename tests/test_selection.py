@@ -11,7 +11,11 @@ import pytest
 
 from repro.cloud.profile import CloudProfile
 from repro.core.online_sim import OnlineSimulator, SimOutcome
-from repro.core.selection import TimeConstrainedSelector
+from repro.core.selection import (
+    QUARANTINE_SCORE,
+    TimeConstrainedSelector,
+    split_budget,
+)
 from repro.policies.combined import build_portfolio
 from repro.sim.clock import VirtualCostClock
 from repro.workload.job import Job
@@ -182,6 +186,124 @@ class TestDeterminism:
         for _ in range(5):
             assert select(a).best.name == select(b).best.name
         assert [p.name for p in a.smart] == [p.name for p in b.smart]
+
+
+class TestSplitBudget:
+    def test_proportional_split(self):
+        d1, d2, d3 = split_budget(0.6, 1, 1, 1)
+        assert d1 == pytest.approx(0.2)
+        assert d2 == pytest.approx(0.2)
+        assert d3 == pytest.approx(0.2)
+        assert d1 + d2 + d3 == 0.6  # exact: d3 is the remainder
+
+    def test_empty_sets_get_zero(self):
+        d1, d2, d3 = split_budget(0.2, 60, 0, 0)
+        assert d1 == 0.2
+        assert d2 == 0.0
+        assert d3 == 0.0
+
+    def test_tranches_never_negative(self):
+        """Regression: with Poor empty, float residue in d1+d2 could exceed
+        delta, driving the Poor tranche an ulp below zero."""
+        rng = np.random.default_rng(42)
+        for _ in range(2_000):
+            delta = float(rng.uniform(1e-6, 10.0))
+            n1, n2, n3 = (int(x) for x in rng.integers(0, 200, size=3))
+            if n1 + n2 + n3 == 0:
+                n1 = 1
+            d1, d2, d3 = split_budget(delta, n1, n2, n3)
+            assert d1 >= 0.0 and d2 >= 0.0 and d3 >= 0.0
+            assert d1 + d2 + d3 == pytest.approx(delta, rel=1e-12)
+
+    def test_known_residue_case(self):
+        # 0.1 + 0.2 > 0.3 in binary floats; the unclamped remainder
+        # delta - (d1 + d2) would be negative here.
+        delta = 0.3
+        d1, d2, d3 = split_budget(delta, 1, 2, 0)
+        assert d3 >= 0.0
+
+
+class FlakySimulator(StubSimulator):
+    """Raises for policies whose name matches ``fail_when``."""
+
+    def __init__(self, fail_when, score_fn=None):
+        super().__init__(score_fn)
+        self.fail_when = fail_when
+
+    def evaluate(self, queue, waits, runtimes, profile, policy):
+        if self.fail_when(policy.name):
+            self.evaluated.append(policy.name)
+            raise RuntimeError(f"simulated crash in {policy.name}")
+        return super().evaluate(queue, waits, runtimes, profile, policy)
+
+
+def make_flaky_selector(fail_when, n=None, score_fn=None, delta=0.2, cost=0.01):
+    portfolio = build_portfolio()
+    if n is not None:
+        portfolio = portfolio[:n]
+    sim = FlakySimulator(fail_when, score_fn)
+    sel = TimeConstrainedSelector(
+        portfolio,
+        simulator=sim,
+        time_constraint=delta,
+        cost_clock=VirtualCostClock(cost),
+        rng=np.random.default_rng(0),
+    )
+    return sel, sim
+
+
+class TestQuarantine:
+    def test_raising_policy_is_quarantined_not_fatal(self):
+        sel, _ = make_flaky_selector(lambda name: "ODA" in name)
+        out = select(sel)  # must not raise
+        assert out.n_quarantined > 0
+        for ps in out.simulated:
+            if ps.quarantined:
+                assert ps.score == QUARANTINE_SCORE
+                assert ps.outcome is None
+
+    def test_quarantined_never_wins(self):
+        # The crashing policies would otherwise be the top scorers.
+        sel, _ = make_flaky_selector(
+            lambda name: "ODA" in name,
+            score_fn=lambda name: 99.0 if "ODA" in name else 5.0,
+            delta=10.0,
+        )
+        out = select(sel)
+        assert "ODA" not in out.best.name
+
+    def test_quarantined_demoted_to_poor(self):
+        sel, _ = make_flaky_selector(lambda name: "ODA" in name, delta=10.0)
+        select(sel)
+        smart_names = {p.name for p in sel.smart}
+        poor_names = {p.name for p in sel.poor}
+        assert not any("ODA" in name for name in smart_names)
+        n_oda = sum(1 for p in build_portfolio() if "ODA" in p.name)
+        assert sum(1 for name in poor_names if "ODA" in name) == n_oda
+
+    def test_quarantine_counters(self):
+        sel, _ = make_flaky_selector(lambda name: "ODA" in name, delta=10.0)
+        select(sel)
+        n_oda = sum(1 for p in build_portfolio() if "ODA" in p.name)
+        assert sel.quarantined == n_oda
+        # Poor is sampled randomly, so the last evaluation may or may not
+        # have been a crasher; the counter just has to be consistent.
+        assert sel.consecutive_quarantines >= 0
+
+    def test_consecutive_resets_on_success(self):
+        sel, _ = make_flaky_selector(lambda name: True, n=6, delta=10.0)
+        select(sel)
+        assert sel.consecutive_quarantines == 6
+        sel.simulator.fail_when = lambda name: False
+        select(sel)
+        assert sel.consecutive_quarantines == 0
+
+    def test_all_quarantined_still_returns_a_policy(self):
+        sel, _ = make_flaky_selector(lambda name: True, n=4, delta=10.0)
+        out = select(sel)
+        assert out.best is not None
+        assert out.n_quarantined == 4
+        assert sum(sel.set_sizes()) == 4
 
 
 class TestRealSimulatorIntegration:

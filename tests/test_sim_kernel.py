@@ -103,6 +103,49 @@ class TestEventQueue:
             q.push(Event(t))
         assert [e.time for e in q.drain()] == [1.0, 2.0, 3.0]
 
+    def test_push_to_second_queue_rejected(self):
+        q1, q2 = EventQueue(), EventQueue()
+        e = q1.push(Event(1.0))
+        with pytest.raises(ValueError, match="another queue"):
+            q2.push(e)
+
+    def test_popped_event_can_be_requeued(self):
+        q = EventQueue()
+        e = q.push(Event(1.0))
+        assert q.pop() is e
+        q.push(e)  # ownership released on pop
+        assert len(q) == 1
+
+    def test_len_is_live_count_under_random_workload(self):
+        """Property: the O(1) live counter always equals a full heap scan
+        (pre-optimisation definition of len) through arbitrary
+        push/pop/cancel/clear interleavings."""
+        import random
+
+        rng = random.Random(1234)
+        q = EventQueue()
+        tracked: list[Event] = []
+        t = 0.0
+        for step in range(3_000):
+            op = rng.random()
+            if op < 0.55:
+                t += rng.random()
+                tracked.append(q.push(Event(t)))
+            elif op < 0.80:
+                if q:
+                    q.pop()
+            elif op < 0.97:
+                if tracked:
+                    # cancel a random event (possibly already popped or
+                    # already cancelled — both must be harmless)
+                    tracked[rng.randrange(len(tracked))].cancel()
+            else:
+                q.clear()
+                tracked.clear()
+            scan = sum(1 for e in q._heap if not e.cancelled)
+            assert len(q) == scan
+            assert bool(q) == (scan > 0)
+
 
 class TestSimulator:
     def test_run_processes_in_order(self):

@@ -6,7 +6,13 @@ import pytest
 
 from repro.workload.cleaning import clean_jobs, validate_trace
 from repro.workload.job import Job
-from repro.workload.swf import SwfFormatError, parse_swf, write_swf
+from repro.workload.swf import (
+    SwfFormatError,
+    SwfIngestReport,
+    parse_swf,
+    parse_swf_file,
+    write_swf,
+)
 
 SAMPLE = """\
 ; Version: 2
@@ -48,6 +54,67 @@ class TestParse:
 
     def test_blank_lines_ignored(self):
         jobs = list(parse_swf(io.StringIO("\n\n" + SAMPLE + "\n")))
+        assert len(jobs) == 4
+
+
+MALFORMED = """\
+; trace with semantically invalid records mixed in
+1 0 5 120 4 -1 -1 4 600 -1 1 10 -1 -1 -1 -1 -1 -1
+2 30 0 -50 1 -1 -1 1 -1 -1 0 11 -1 -1 -1 -1 -1 -1
+3 60 2 30 0 -1 -1 -1 900 -1 0 12 -1 -1 -1 -1 -1 -1
+4 70 1 30 2 -1 -1 2 300 -1 1 13 -1 -1 -1 -1 -1 -1
+5 40 1 30 2 -1 -1 2 300 -1 1 14 -1 -1 -1 -1 -1 -1
+6 90 1 30 2 -1 -1 2 300 -1 1 15 -1 -1 -1 -1 -1 -1
+"""
+
+
+class TestQuarantine:
+    def test_malformed_records_are_skipped(self):
+        jobs = list(parse_swf(io.StringIO(MALFORMED)))
+        assert [j.job_id for j in jobs] == [1, 4, 6]
+
+    def test_report_counts_each_reason(self):
+        report = SwfIngestReport()
+        list(parse_swf(io.StringIO(MALFORMED), report=report))
+        assert report.total == 6
+        assert report.kept == 3
+        assert report.negative_runtime == 1  # job 2: runtime -50
+        assert report.bad_procs == 1  # job 3: alloc 0, requested -1
+        assert report.non_monotone_submit == 1  # job 5: submit 40 < 70
+        assert report.skipped == 3
+        assert report.skipped_lines == [3, 4, 6]
+
+    def test_zero_runtime_and_proc_fallback_still_pass(self):
+        # Zero runtime and missing-alloc fallback are the cleaning pass's
+        # business, not the parser's — SAMPLE keeps all 4 jobs.
+        report = SwfIngestReport()
+        jobs = list(parse_swf(io.StringIO(SAMPLE), report=report))
+        assert len(jobs) == 4
+        assert report.skipped == 0
+
+    def test_summary_mentions_reasons(self):
+        report = SwfIngestReport()
+        list(parse_swf(io.StringIO(MALFORMED), report=report))
+        text = report.summary()
+        assert "skipped 3/6" in text
+        assert "negative runtime" in text
+        assert "non-monotone" in text
+
+    def test_parse_file_warns_once_on_skips(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text(MALFORMED, encoding="utf-8")
+        with pytest.warns(UserWarning, match="skipped 3/6"):
+            jobs = parse_swf_file(path)
+        assert [j.job_id for j in jobs] == [1, 4, 6]
+
+    def test_parse_file_clean_trace_no_warning(self, tmp_path):
+        path = tmp_path / "clean.swf"
+        path.write_text(SAMPLE, encoding="utf-8")
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            jobs = parse_swf_file(path)
         assert len(jobs) == 4
 
 
