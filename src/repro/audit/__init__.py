@@ -1,0 +1,50 @@
+"""Self-verifying simulation: runtime invariant auditing and the
+differential metrics oracle.
+
+Every reproduced figure flows through ``U = κ·(RJ/RV)^α·(1/BSD)^β``, so a
+single silent accounting bug — a VM billed after termination, a job
+double-counted, a stale event delivered — corrupts every result without
+failing a test.  This package makes the simulator continuously prove its
+own books balance:
+
+* :class:`InvariantMonitor` hooks the sim kernel's event dispatch, the
+  provider's billing call sites, and the engine's scheduling rounds, and
+  checks event-delivery, VM-lifecycle/billing, job-conservation, and
+  provider/queue cross-consistency invariants online;
+* :class:`DifferentialOracle` independently recomputes RJ, RV, BSD, and
+  U from the append-only :class:`RunLedger` and diffs them against the
+  collector's figures at finalize time;
+* everything surfaces as a structured :class:`AuditReport` on the
+  experiment result, in JSON export, and in the CLI's audit table.
+
+Severity is a ladder (``off | record | warn | strict``); ``off`` is the
+default and is bit-identical to an unaudited build.
+"""
+
+from repro.audit.config import (
+    AuditConfig,
+    AuditLevel,
+    default_audit_config,
+    set_default_audit,
+)
+from repro.audit.ledger import ChargeEntry, CompletionEntry, RunLedger
+from repro.audit.monitor import InvariantMonitor
+from repro.audit.oracle import DifferentialOracle, OracleCheck
+from repro.audit.report import AuditReport
+from repro.audit.violations import InvariantViolation, Violation
+
+__all__ = [
+    "AuditConfig",
+    "AuditLevel",
+    "AuditReport",
+    "ChargeEntry",
+    "CompletionEntry",
+    "DifferentialOracle",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "OracleCheck",
+    "RunLedger",
+    "Violation",
+    "default_audit_config",
+    "set_default_audit",
+]

@@ -1,0 +1,113 @@
+"""Audit knobs and the process-wide default.
+
+The audit layer is opt-in per engine via ``EngineConfig(audit=...)``.
+When no explicit config is given, the engine falls back to the process
+default, which is ``off`` unless overridden by :func:`set_default_audit`
+(what the test suite's ``conftest.py`` does to turn every test into an
+invariant test) or the ``REPRO_AUDIT`` environment variable (what CI's
+strict smoke job could use without touching code).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "AuditConfig",
+    "AuditLevel",
+    "default_audit_config",
+    "set_default_audit",
+]
+
+
+class AuditLevel(str, enum.Enum):
+    """Severity ladder for invariant violations.
+
+    * ``off`` — no monitor is installed at all: zero overhead, results
+      bit-identical to an unaudited build;
+    * ``record`` — violations accumulate silently in the
+      :class:`~repro.audit.report.AuditReport`;
+    * ``warn`` — as ``record``, plus a one-line stderr warning per
+      violation (capped);
+    * ``strict`` — the first violation raises
+      :class:`~repro.audit.violations.InvariantViolation`, carrying a
+      ring buffer of recent events for post-mortem context.
+    """
+
+    OFF = "off"
+    RECORD = "record"
+    WARN = "warn"
+    STRICT = "strict"
+
+
+@dataclass(slots=True, frozen=True)
+class AuditConfig:
+    """How thoroughly (and how loudly) a run checks its own books.
+
+    Parameters
+    ----------
+    level:
+        The :class:`AuditLevel`; ``off`` disables everything.
+    oracle_rel_tol, oracle_abs_tol:
+        Divergence tolerance when the differential oracle compares its
+        independently recomputed RJ/RV/BSD/U against the collector's
+        figures.  The defaults absorb float summation-order noise
+        (``numpy`` pairwise sums vs ``math.fsum``) and nothing more.
+    ring_size:
+        How many recently dispatched events the monitor retains for the
+        context ring buffer attached to strict-mode exceptions.
+    max_violations:
+        Cap on *stored* violation records (the total count is always
+        exact); keeps a pathologically broken run from hoarding memory.
+    max_warnings:
+        Cap on stderr lines emitted at level ``warn``.
+    """
+
+    level: AuditLevel = AuditLevel.OFF
+    oracle_rel_tol: float = 1e-9
+    oracle_abs_tol: float = 1e-6
+    ring_size: int = 64
+    max_violations: int = 100
+    max_warnings: int = 20
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "level", AuditLevel(self.level))
+        if self.oracle_rel_tol < 0 or self.oracle_abs_tol < 0:
+            raise ValueError("oracle tolerances must be non-negative")
+        if self.ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {self.ring_size}")
+        if self.max_violations < 1:
+            raise ValueError(
+                f"max_violations must be >= 1, got {self.max_violations}"
+            )
+        if self.max_warnings < 0:
+            raise ValueError(
+                f"max_warnings must be >= 0, got {self.max_warnings}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.level is not AuditLevel.OFF
+
+
+#: Explicit process default installed by :func:`set_default_audit`;
+#: ``None`` means "derive from the environment".
+_default: AuditConfig | None = None
+
+
+def default_audit_config() -> AuditConfig:
+    """The audit config engines use when ``EngineConfig.audit`` is None."""
+    if _default is not None:
+        return _default
+    return AuditConfig(level=AuditLevel(os.environ.get("REPRO_AUDIT", "off")))
+
+
+def set_default_audit(config: AuditConfig | None) -> AuditConfig | None:
+    """Install *config* as the process default; returns the previous one
+    (``None`` = environment-derived) so callers can restore it."""
+    global _default
+    previous = _default
+    _default = config
+    return previous

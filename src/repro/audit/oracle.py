@@ -1,0 +1,138 @@
+"""The differential metrics oracle.
+
+Recomputes the four numbers every figure plots — RJ, RV, the average
+bounded slowdown, and the utility U = κ·(RJ/RV)^α·(1/BSD)^β — from the
+:class:`~repro.audit.ledger.RunLedger` alone, deliberately *not* calling
+into :mod:`repro.metrics` or :mod:`repro.core.utility`: the formulas are
+re-derived here from the paper (§2), so a bug in the production
+implementations and a bug in the oracle would have to agree exactly to
+go unnoticed.  Differences within float summation-order noise are
+absorbed by the configured tolerance; anything beyond it surfaces as a
+failed :class:`OracleCheck`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.audit.ledger import RunLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import SummaryMetrics
+
+__all__ = ["OracleCheck", "DifferentialOracle"]
+
+#: The paper's constants, restated independently of the production code:
+#: bounded-slowdown runtime floor (§2) and default utility parameters.
+_BSD_BOUND = 10.0
+_KAPPA, _ALPHA, _BETA = 100.0, 1.0, 1.0
+
+
+@dataclass(slots=True, frozen=True)
+class OracleCheck:
+    """One engine-vs-oracle comparison."""
+
+    metric: str
+    engine_value: float
+    oracle_value: float
+    ok: bool
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.engine_value - self.oracle_value)
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "engine": self.engine_value,
+            "oracle": self.oracle_value,
+            "abs_error": self.abs_error,
+            "ok": self.ok,
+        }
+
+    def row(self) -> dict:
+        """Flatten for the CLI audit table."""
+        return {
+            "metric": self.metric,
+            "engine": self.engine_value,
+            "oracle": self.oracle_value,
+            "abs_err": self.abs_error,
+            "ok": "yes" if self.ok else "NO",
+        }
+
+
+class DifferentialOracle:
+    """Compares ledger-derived metrics against the collector's figures."""
+
+    def __init__(self, rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> None:
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+
+    # -- independent recomputation -------------------------------------------
+
+    @staticmethod
+    def recompute_rj(ledger: RunLedger) -> float:
+        """RJ: total consumed CPU·seconds of completed jobs."""
+        return math.fsum(e.procs * e.runtime for e in ledger.completions)
+
+    @staticmethod
+    def recompute_rv(ledger: RunLedger) -> float:
+        """RV: total charged VM·seconds, from the per-VM charge stream."""
+        return math.fsum(e.charged_seconds for e in ledger.charges)
+
+    @staticmethod
+    def recompute_bsd(ledger: RunLedger) -> float:
+        """Average bounded slowdown; 1.0 for an empty run (collector
+        convention — "no jobs were slowed down")."""
+        if not ledger.completions:
+            return 1.0
+        total = math.fsum(
+            max(
+                1.0,
+                (e.start_time - e.submit_time + max(e.runtime, _BSD_BOUND))
+                / max(e.runtime, _BSD_BOUND),
+            )
+            for e in ledger.completions
+        )
+        return total / len(ledger.completions)
+
+    @staticmethod
+    def recompute_utility(rj: float, rv: float, bsd: float) -> float:
+        """U with the paper's defaults; utilization clamped to [0, 1] and
+        RV = 0 counting as perfect utilization, matching the production
+        conventions (documented in :mod:`repro.core.utility`)."""
+        utilization = min(1.0, rj / rv) if rv > 0 else 1.0
+        return _KAPPA * utilization**_ALPHA * (1.0 / max(bsd, 1.0)) ** _BETA
+
+
+    # -- comparison ----------------------------------------------------------
+
+    def _close(self, a: float, b: float) -> bool:
+        return abs(a - b) <= self.abs_tol + self.rel_tol * max(abs(a), abs(b))
+
+    def compare(
+        self, ledger: RunLedger, metrics: "SummaryMetrics", engine_utility: float
+    ) -> tuple[OracleCheck, ...]:
+        """Recompute everything from *ledger* and diff against *metrics*."""
+        rj = self.recompute_rj(ledger)
+        rv = self.recompute_rv(ledger)
+        bsd = self.recompute_bsd(ledger)
+        utility = self.recompute_utility(rj, rv, bsd)
+        pairs = (
+            ("jobs", float(metrics.jobs), float(len(ledger.completions))),
+            ("rj_seconds", metrics.rj_seconds, rj),
+            ("rv_seconds", metrics.rv_seconds, rv),
+            ("avg_bounded_slowdown", metrics.avg_bounded_slowdown, bsd),
+            ("utility", engine_utility, utility),
+        )
+        return tuple(
+            OracleCheck(
+                metric=name,
+                engine_value=engine,
+                oracle_value=oracle,
+                ok=self._close(engine, oracle),
+            )
+            for name, engine, oracle in pairs
+        )

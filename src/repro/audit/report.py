@@ -1,0 +1,71 @@
+"""The structured audit outcome attached to experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.oracle import OracleCheck
+from repro.audit.violations import Violation
+
+__all__ = ["AuditReport"]
+
+
+@dataclass(slots=True, frozen=True)
+class AuditReport:
+    """What the audit layer saw over one run.
+
+    ``violations`` holds at most the configured cap of records;
+    ``violations_total`` is always the exact count.  ``oracle_checks`` is
+    empty only when the run aborted before finalize.
+    """
+
+    level: str
+    events_audited: int
+    rounds_audited: int
+    completions_logged: int
+    charges_logged: int
+    violations_total: int
+    violations: tuple[Violation, ...]
+    oracle_checks: tuple[OracleCheck, ...]
+
+    @property
+    def oracle_ok(self) -> bool:
+        return all(check.ok for check in self.oracle_checks)
+
+    @property
+    def ok(self) -> bool:
+        """Zero violations and zero oracle divergences."""
+        return self.violations_total == 0 and self.oracle_ok
+
+    def summary_row(self) -> dict:
+        """Flatten for the CLI audit table."""
+        return {
+            "audit": self.level,
+            "events": self.events_audited,
+            "rounds": self.rounds_audited,
+            "completions": self.completions_logged,
+            "charges": self.charges_logged,
+            "violations": self.violations_total,
+            "oracle": "ok" if self.oracle_ok else "DIVERGED",
+            "verdict": "ok" if self.ok else "FAILED",
+        }
+
+    def oracle_rows(self) -> list[dict]:
+        return [check.row() for check in self.oracle_checks]
+
+    def to_dict(self) -> dict:
+        """Flatten to JSON-safe types for result export."""
+        return {
+            "level": self.level,
+            "ok": self.ok,
+            "events_audited": self.events_audited,
+            "rounds_audited": self.rounds_audited,
+            "completions_logged": self.completions_logged,
+            "charges_logged": self.charges_logged,
+            "violations_total": self.violations_total,
+            "violations": [v.to_dict() for v in self.violations],
+            "oracle": {
+                "ok": self.oracle_ok,
+                "checks": [check.to_dict() for check in self.oracle_checks],
+            },
+        }

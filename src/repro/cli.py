@@ -15,6 +15,7 @@ Invoke as ``python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
@@ -38,6 +39,64 @@ _FIGURES = (
 )
 
 
+# -- argument validation ------------------------------------------------------
+#
+# Range errors surface as argparse usage errors at parse time instead of
+# deep-in-run failures (a negative MTBF, say, would otherwise blow up in
+# the failure sampler hours into a long run).
+
+def _number(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not math.isfinite(value):
+        raise argparse.ArgumentTypeError(f"{text!r} is not finite")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = _number(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = _number(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _rate(text: str) -> float:
+    value = _number(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability in [0, 1], got {text}"
+        )
+    return value
+
+
+def _int_at_least(minimum: int):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{text!r} is not an integer"
+            ) from None
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {text}")
+        return value
+
+    return parse
+
+
+_positive_int = _int_at_least(1)
+_nonneg_int = _int_at_least(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -48,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace", help="generate and summarise a synthetic trace")
     p_trace.add_argument("model", choices=sorted(_TRACES))
-    p_trace.add_argument("--hours", type=float, default=24.0)
+    p_trace.add_argument("--hours", type=_positive_float, default=24.0)
     p_trace.add_argument("--seed", type=int, default=42)
     p_trace.add_argument("--swf-out", metavar="PATH", help="also write the trace as SWF")
 
@@ -62,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and fault options are restored from the snapshot and need not be "
         "repeated)",
     )
-    p_run.add_argument("--hours", type=float, default=24.0)
+    p_run.add_argument("--hours", type=_positive_float, default=24.0)
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument(
         "--policy",
@@ -72,8 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--predictor", choices=("oracle", "knn", "user"), default="oracle"
     )
-    p_run.add_argument("--max-vms", type=int, default=256)
-    p_run.add_argument("--system-procs", type=int, default=128,
+    p_run.add_argument("--max-vms", type=_positive_int, default=256)
+    p_run.add_argument("--system-procs", type=_positive_int, default=128,
                        help="source system size for SWF cleaning")
 
     chaos = p_run.add_argument_group(
@@ -81,30 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
         "unreliable-cloud extension: all knobs off reproduces the paper's "
         "reliable-VM model; every fault stream is deterministic per --seed",
     )
-    chaos.add_argument("--mtbf", type=float, metavar="SECONDS",
+    chaos.add_argument("--mtbf", type=_positive_float, metavar="SECONDS",
                        help="mean exponential VM lifetime (VM failure injection)")
-    chaos.add_argument("--lease-fault-rate", type=float, default=0.0,
+    chaos.add_argument("--lease-fault-rate", type=_rate, default=0.0,
                        metavar="P", help="P[lease request fails transiently]")
-    chaos.add_argument("--partial-grant-rate", type=float, default=0.0,
+    chaos.add_argument("--partial-grant-rate", type=_rate, default=0.0,
                        metavar="P",
                        help="P[lease request only partially granted]")
-    chaos.add_argument("--boot-fail-rate", type=float, default=0.0, metavar="P",
+    chaos.add_argument("--boot-fail-rate", type=_rate, default=0.0, metavar="P",
                        help="P[a leased VM never becomes ready]")
-    chaos.add_argument("--boot-jitter", type=float, default=0.0,
+    chaos.add_argument("--boot-jitter", type=_nonneg_float, default=0.0,
                        metavar="SECONDS",
                        help="lognormal long-tail scale added to boot delays")
-    chaos.add_argument("--outage-rate", type=float, default=0.0,
+    chaos.add_argument("--outage-rate", type=_nonneg_float, default=0.0,
                        metavar="PER_DAY",
                        help="mean correlated outage windows per simulated day")
-    chaos.add_argument("--outage-duration", type=float, default=900.0,
+    chaos.add_argument("--outage-duration", type=_positive_float, default=900.0,
                        metavar="SECONDS", help="mean outage window length")
-    chaos.add_argument("--outage-kill-fraction", type=float, default=0.5,
+    chaos.add_argument("--outage-kill-fraction", type=_rate, default=0.5,
                        metavar="P",
                        help="P[each on-demand VM dies when an outage opens]")
-    chaos.add_argument("--checkpoint-interval", type=float, metavar="SECONDS",
+    chaos.add_argument("--checkpoint-interval", type=_positive_float,
+                       metavar="SECONDS",
                        help="periodic checkpointing: killed jobs resume from "
                        "their last checkpoint instead of restarting")
-    chaos.add_argument("--max-job-retries", type=int, metavar="N",
+    chaos.add_argument("--max-job-retries", type=_nonneg_int, metavar="N",
                        help="kill budget per job before it ends FAILED "
                        "(default: unlimited)")
 
@@ -117,10 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     durable.add_argument("--snapshot-dir", metavar="DIR",
                          help="directory for run-state snapshots (enables "
                          "durable execution)")
-    durable.add_argument("--snapshot-interval", type=float, metavar="SECONDS",
+    durable.add_argument("--snapshot-interval", type=_positive_float,
+                         metavar="SECONDS",
                          help="wall-clock seconds between snapshots "
                          "(default 300 when --snapshot-dir is set)")
-    durable.add_argument("--snapshot-every-events", type=int, metavar="N",
+    durable.add_argument("--snapshot-every-events", type=_positive_int,
+                         metavar="N",
                          help="also snapshot every N simulation events "
                          "(deterministic trigger, used by tests/CI)")
     durable.add_argument("--export-json", metavar="PATH",
@@ -132,13 +194,31 @@ def build_parser() -> argparse.ArgumentParser:
         "a policy that raises during online simulation is quarantined "
         "(scored -inf, demoted to Poor) instead of aborting the run",
     )
-    failsafe.add_argument("--quarantine-limit", type=int, metavar="N",
+    failsafe.add_argument("--quarantine-limit", type=_positive_int, metavar="N",
                           help="after N consecutive quarantined evaluations, "
                           "stop selecting and apply --safe-policy for the "
                           "rest of the run (default: never fail over)")
     failsafe.add_argument("--safe-policy", metavar="NAME",
                           help="fixed policy applied after quarantine "
                           "failover (default: first portfolio member)")
+
+    auditing = p_run.add_argument_group(
+        "self-verification",
+        "runtime invariant auditing: an online monitor checks event "
+        "delivery, VM lifecycle/billing, job conservation, and "
+        "provider/queue consistency, and a differential oracle re-derives "
+        "RJ/RV/BSD/U from an independent ledger at run end; 'off' is "
+        "bit-identical to an unaudited run",
+    )
+    auditing.add_argument("--audit", choices=("off", "record", "warn", "strict"),
+                          default=None,
+                          help="severity: record silently, warn on stderr, or "
+                          "strict (first violation aborts the run; exit 3); "
+                          "ignored on --resume, which restores the snapshot's "
+                          "audit config (default: off)")
+    auditing.add_argument("--audit-report", action="store_true",
+                          help="print the audit summary and oracle tables "
+                          "after the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("name", choices=_FIGURES)
@@ -244,8 +324,15 @@ def _build_engine(args: argparse.Namespace):
     jobs = _load_jobs(args)
     if not jobs:
         raise SystemExit2("no jobs to run", 1)
+    audit_kwargs: dict = {}
+    if args.audit is not None:
+        from repro.audit import AuditConfig
+
+        audit_kwargs["audit"] = AuditConfig(level=args.audit)
     config = EngineConfig(
-        provider=ProviderConfig(max_vms=args.max_vms), **_resilience_config(args)
+        provider=ProviderConfig(max_vms=args.max_vms),
+        **_resilience_config(args),
+        **audit_kwargs,
     )
     predictor = _predictor(args.predictor)
     if args.policy == "portfolio":
@@ -267,6 +354,7 @@ def _build_engine(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.audit import InvariantViolation
     from repro.durability import DurableRunner, RunInterrupted, SnapshotError
 
     snap_cfg = _snapshot_config(args)
@@ -288,6 +376,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except SystemExit2 as exc:
         print(str(exc), file=sys.stderr)
         return exc.code
+    except InvariantViolation as exc:
+        print(f"audit: {exc}", file=sys.stderr)
+        return 3
     except SnapshotError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -322,6 +413,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if r9.any_activity or result.unfinished_jobs:
         row = {**r9.row(), "unfinished": result.unfinished_jobs}
         print(format_table([row], title="resilience"))
+    report = getattr(result, "audit", None)
+    if report is not None and (args.audit_report or not report.ok):
+        print(format_table([report.summary_row()], title="audit"))
+        if report.oracle_checks:
+            print(format_table(report.oracle_rows(), title="differential oracle"))
+        for violation in report.violations[:10]:
+            print(f"violation [{violation.kind}] t={violation.time:.0f}: "
+                  f"{violation.message}")
     if args.export_json:
         from repro.experiments.export import dump_result_json
 

@@ -10,6 +10,7 @@ charged cost ``RV``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cloud.billing import BillingModel, HourlyBilling
 from repro.cloud.vm import VM, VMState
@@ -60,6 +61,13 @@ class CloudProvider:
         self._fleet: dict[int, VM] = {}
         self.charged_seconds_total = 0.0
         self.leases_total = 0
+        #: Optional billing observation hook: called with
+        #: ``(vm, charged_seconds, end_time, kind)`` after every charge is
+        #: booked into ``charged_seconds_total`` (``kind`` is one of
+        #: ``terminate | straggler | reserved``).  The audit layer's
+        #: invariant monitor subscribes here to keep its independent
+        #: charge ledger; ``None`` (default) adds no overhead.
+        self.on_charge: Callable[[VM, float, float, str], None] | None = None
 
     # -- leasing ------------------------------------------------------------
 
@@ -106,6 +114,8 @@ class CloudProvider:
         charge = self.billing.charged_seconds(vm.lease_time, now)
         self.charged_seconds_total += charge
         del self._fleet[vm.vm_id]
+        if self.on_charge is not None:
+            self.on_charge(vm, charge, now, "terminate")
         return charge
 
     def terminate_all(self, now: float) -> float:
@@ -128,14 +138,20 @@ class CloudProvider:
         this is a no-op outside the stalled case.
         """
         extra = 0.0
+        settled: list[tuple[VM, float]] = []
         for vm in self._fleet.values():
             if vm.state is not VMState.BUSY:
                 continue
             if vm.reserved:
-                extra += max(0.0, now - vm.lease_time) * reserved_discount
+                charge = max(0.0, now - vm.lease_time) * reserved_discount
             else:
-                extra += self.billing.charged_seconds(vm.lease_time, max(now, vm.lease_time))
+                charge = self.billing.charged_seconds(vm.lease_time, max(now, vm.lease_time))
+            extra += charge
+            settled.append((vm, charge))
         self.charged_seconds_total += extra
+        if self.on_charge is not None:
+            for vm, charge in settled:
+                self.on_charge(vm, charge, now, "straggler")
         # Mark them settled by rebasing the lease clock so a (hypothetical)
         # later settlement cannot double-charge the same interval.
         for vm in self._fleet.values():
@@ -161,6 +177,8 @@ class CloudProvider:
                 self.charged_seconds_total += charge
                 total += charge
                 del self._fleet[vm.vm_id]
+                if self.on_charge is not None:
+                    self.on_charge(vm, charge, now, "reserved")
         return total
 
     # -- fleet queries --------------------------------------------------------

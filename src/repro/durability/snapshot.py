@@ -39,7 +39,9 @@ __all__ = [
 
 MANIFEST_NAME = "MANIFEST.json"
 #: Bump when the payload layout changes incompatibly.
-SNAPSHOT_FORMAT = 1
+#: 2: engines carry audit-monitor state (repro.audit); results grew an
+#:    ``audit`` field.
+SNAPSHOT_FORMAT = 2
 
 
 class SnapshotError(RuntimeError):

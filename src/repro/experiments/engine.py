@@ -23,6 +23,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.audit.config import AuditConfig, default_audit_config
+from repro.audit.monitor import InvariantMonitor
+from repro.audit.report import AuditReport
 from repro.cloud.failures import FailureModel
 from repro.cloud.profile import CloudProfile
 from repro.cloud.provider import CloudProvider, ProviderConfig
@@ -88,6 +91,13 @@ class EngineConfig:
     #: in the terminal FAILED state instead of requeuing forever.
     #: ``None`` = unlimited retries (seed behaviour).
     max_job_retries: int | None = None
+    #: Runtime invariant auditing (:mod:`repro.audit`): the monitor hooks
+    #: event dispatch, billing, and scheduling rounds, and a differential
+    #: oracle re-derives RJ/RV/BSD/U at finalize.  ``None`` falls back to
+    #: the process default (``off`` unless the test suite or the
+    #: ``REPRO_AUDIT`` env var raises it); level ``off`` is bit-identical
+    #: to an unaudited build.
+    audit: "AuditConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -134,6 +144,8 @@ class ExperimentResult:
     #: Did the portfolio scheduler hit its quarantine cap and fall back to
     #: its designated safe fixed policy?
     portfolio_failed_over: bool = False
+    #: What the audit layer saw (``None`` when auditing was off).
+    audit: "AuditReport | None" = None
 
     @property
     def failed_jobs(self) -> int:
@@ -265,6 +277,20 @@ class ClusterEngine:
         self.sim.on(EventKind.VM_FAIL, self._on_vm_fail)
         self.sim.on(EventKind.OUTAGE_START, self._on_outage_start)
         self.sim.on(EventKind.OUTAGE_END, self._on_outage_end)
+
+        # Runtime invariant auditing (all state hangs off the engine, so
+        # durability snapshots carry it and resumed runs keep auditing).
+        audit_cfg = (
+            self.config.audit
+            if self.config.audit is not None
+            else default_audit_config()
+        )
+        self.audit: InvariantMonitor | None = None
+        if audit_cfg.enabled:
+            self.audit = InvariantMonitor(audit_cfg)
+            self.audit.attach_billing(self.provider.billing)
+            self.sim.tracer = self.audit.on_event
+            self.provider.on_charge = self.audit.on_vm_charge
 
     @staticmethod
     def _check_acyclic(dependencies: "dict[int, tuple[int, ...]]") -> None:
@@ -400,6 +426,8 @@ class ClusterEngine:
         self._release_surplus(sim)
         if self.queue:
             self._tick_event = sim.schedule_after(self.config.tick, EventKind.SCHEDULE_TICK)
+        if self.audit is not None:
+            self.audit.check_round(self)
 
     def _on_vm_ready(self, sim: Simulator, event: Event) -> None:
         vm: VM = event.payload
@@ -776,6 +804,18 @@ class ClusterEngine:
         metrics = self.metrics.summarize(
             self.provider.charged_seconds_total, resilience=stats
         )
+        audit_report = None
+        if self.audit is not None:
+            from repro.core.utility import UtilityFunction
+
+            engine_utility = UtilityFunction()(
+                metrics.rj_seconds,
+                metrics.rv_seconds,
+                metrics.avg_bounded_slowdown,
+            )
+            audit_report = self.audit.finalize_audit(
+                self, metrics, engine_utility, end
+            )
         is_portfolio = isinstance(self.scheduler, PortfolioScheduler)
         invocations = self.scheduler.invocations if is_portfolio else 0
         wall = (
@@ -796,6 +836,7 @@ class ClusterEngine:
             resilience=stats,
             policies_quarantined=self.scheduler.quarantined if is_portfolio else 0,
             portfolio_failed_over=self.scheduler.failed_over if is_portfolio else False,
+            audit=audit_report,
         )
 
     def run(self) -> ExperimentResult:

@@ -57,6 +57,11 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
             "checkpoint_saved_cpu_seconds": r9.checkpoint_saved_cpu_seconds,
         },
     }
+    # Snapshots written before the audit layer existed unpickle without
+    # the field; treat them as unaudited.
+    audit = getattr(result, "audit", None)
+    if audit is not None:
+        out["audit"] = audit.to_dict()
     if include_records:
         out["records"] = [
             {

@@ -43,12 +43,14 @@ def normalize_series(values: Sequence[float], reference: float | None = None) ->
     """Divide *values* by *reference* (default: the first value).
 
     The paper's Figs. 9-10 plot everything normalized to the smallest
-    parameter setting; this helper reproduces those axes.  A zero
-    reference yields zeros rather than dividing by zero.
+    parameter setting; this helper reproduces those axes.  A zero or
+    near-zero reference (an empty or all-zero series, or a degenerate
+    explicit reference) yields zeros rather than raising
+    ``ZeroDivisionError`` (or overflowing to absurd ratios) mid-report.
     """
     if not values:
         return []
     ref = values[0] if reference is None else reference
-    if ref == 0:
+    if abs(ref) < 1e-12:
         return [0.0 for _ in values]
     return [v / ref for v in values]

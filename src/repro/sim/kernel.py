@@ -117,6 +117,13 @@ class Simulator:
         self.queue = EventQueue()
         self._handlers: dict[EventKind, Handler] = {}
         self.events_processed = 0
+        #: Optional pre-dispatch observation hook: called with
+        #: ``(simulator, event)`` for every popped event *before* the
+        #: clock advances and the handler runs, so the observer sees the
+        #: previous timestamp in ``now`` and can audit delivery order.
+        #: The audit layer installs its invariant monitor here; ``None``
+        #: (the default) costs one attribute check per event.
+        self.tracer: Handler | None = None
 
     def on(self, kind: EventKind, handler: Handler) -> None:
         """Register *handler* for events of *kind* (one handler per kind)."""
@@ -155,6 +162,8 @@ class Simulator:
         if not self.queue:
             return None
         event = self.queue.pop()
+        if self.tracer is not None:
+            self.tracer(self, event)
         self.now = event.time
         handler = self._handlers.get(event.kind)
         if handler is None:

@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+Every engine constructed by the tests runs under ``--audit strict``
+unless a test passes an explicit ``EngineConfig(audit=...)``: the whole
+suite doubles as an invariant test, and any silent accounting bug that
+slips into the engine fails loudly with event context instead of quietly
+skewing reproduced figures.
+"""
+
+import pytest
+
+from repro.audit import AuditConfig, AuditLevel, set_default_audit
+
+
+@pytest.fixture(autouse=True, scope="session")
+def strict_audit_everywhere():
+    previous = set_default_audit(AuditConfig(level=AuditLevel.STRICT))
+    yield
+    set_default_audit(previous)

@@ -24,6 +24,72 @@ class TestParser:
             build_parser().parse_args(["figure", "fig99"])
 
 
+class TestArgValidation:
+    """Bad numeric flags must die at parse time, not hours into a run."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--model", "DAS2-fs0", "--hours", "0"],
+        ["run", "--model", "DAS2-fs0", "--hours", "-4"],
+        ["trace", "KTH-SP2", "--hours", "nan"],
+        ["run", "--model", "DAS2-fs0", "--mtbf", "0"],
+        ["run", "--model", "DAS2-fs0", "--mtbf", "-3600"],
+        ["run", "--model", "DAS2-fs0", "--snapshot-interval", "0"],
+        ["run", "--model", "DAS2-fs0", "--snapshot-every-events", "0"],
+        ["run", "--model", "DAS2-fs0", "--snapshot-every-events", "-5"],
+        ["run", "--model", "DAS2-fs0", "--lease-fault-rate", "1.5"],
+        ["run", "--model", "DAS2-fs0", "--boot-fail-rate", "-0.1"],
+        ["run", "--model", "DAS2-fs0", "--outage-kill-fraction", "-0.1"],
+        ["run", "--model", "DAS2-fs0", "--outage-rate", "-1"],
+        ["run", "--model", "DAS2-fs0", "--boot-jitter", "-10"],
+        ["run", "--model", "DAS2-fs0", "--checkpoint-interval", "0"],
+        ["run", "--model", "DAS2-fs0", "--outage-duration", "-600"],
+        ["run", "--model", "DAS2-fs0", "--max-job-retries", "-1"],
+        ["run", "--model", "DAS2-fs0", "--max-vms", "0"],
+        ["run", "--model", "DAS2-fs0", "--system-procs", "0"],
+        ["run", "--model", "DAS2-fs0", "--quarantine-limit", "0"],
+        ["run", "--model", "DAS2-fs0", "--audit", "loud"],
+    ])
+    def test_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(argv)
+        assert exc_info.value.code == 2
+        capsys.readouterr()  # swallow argparse usage noise
+
+    def test_valid_values_parse(self):
+        args = build_parser().parse_args([
+            "run", "--model", "DAS2-fs0", "--hours", "4",
+            "--mtbf", "3600", "--lease-fault-rate", "0.2",
+            "--outage-kill-fraction", "1.0", "--snapshot-interval", "60",
+            "--snapshot-every-events", "100", "--max-job-retries", "0",
+            "--audit", "strict",
+        ])
+        assert args.hours == 4.0
+        assert args.mtbf == 3600.0
+        assert args.lease_fault_rate == 0.2
+        assert args.outage_kill_fraction == 1.0
+        assert args.snapshot_every_events == 100
+        assert args.max_job_retries == 0
+        assert args.audit == "strict"
+
+    def test_audit_defaults_to_inherit(self):
+        args = build_parser().parse_args(["run", "--model", "DAS2-fs0"])
+        assert args.audit is None
+        assert args.audit_report is False
+
+
+class TestAuditFlag:
+    def test_audit_report_table(self, capsys):
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "2", "--seed", "5",
+            "--policy", "ODA-FCFS-FirstFit",
+            "--audit", "strict", "--audit-report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "audit" in out
+        assert "differential oracle" in out
+        assert "verdict" in out
+
+
 class TestTraceCommand:
     def test_summary_printed(self, capsys):
         assert main(["trace", "DAS2-fs0", "--hours", "6", "--seed", "3"]) == 0

@@ -168,3 +168,12 @@ class TestReport:
 
     def test_normalize_empty(self):
         assert normalize_series([]) == []
+
+    def test_normalize_near_zero_reference(self):
+        # A float-noise reference must not explode to absurd ratios.
+        assert normalize_series([1e-15, 5.0]) == [0.0, 0.0]
+        assert normalize_series([3.0, 6.0], reference=-1e-13) == [0.0, 0.0]
+
+    @given(st.floats(min_value=1e-9, max_value=1e9))
+    def test_normalize_nonzero_reference_is_exact_division(self, ref):
+        assert normalize_series([ref, 2 * ref])[1] == pytest.approx(2.0)
