@@ -9,10 +9,12 @@ and repetition would only re-read the in-process cache.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Callable, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def save_and_show(name: str, text: str) -> None:
@@ -22,6 +24,27 @@ def save_and_show(name: str, text: str) -> None:
     path.write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+def save_json(name: str, payload: dict, root: bool = False) -> Path:
+    """Persist *payload* as pretty JSON; merge into the file if it exists.
+
+    Headline ``BENCH_*`` artifacts go to the repo root (``root=True``) so
+    they live next to the README; everything else lands in
+    ``benchmarks/results/``.  Top-level keys merge so several benchmark
+    functions can each contribute a section to one file."""
+    directory = REPO_ROOT if root else RESULTS_DIR
+    directory.mkdir(exist_ok=True)
+    path = directory / f"{name}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def run_once(benchmark, fn: Callable[[], object]) -> object:

@@ -7,6 +7,8 @@ Four subcommands cover the common workflows without writing Python:
 * ``repro run`` — replay a trace (synthetic or SWF) under the portfolio
   scheduler or a single fixed policy,
 * ``repro figure`` — regenerate one of the paper's tables/figures,
+* ``repro campaign`` — run a figure grid as independent cells, optionally
+  fanned out over worker processes and memoised in a disk cache,
 * ``repro policies`` — list the 60 portfolio members.
 
 Invoke as ``python -m repro ...``.
@@ -21,6 +23,7 @@ from typing import Sequence
 
 from repro.experiments.engine import EngineConfig
 from repro.metrics.report import format_table
+from repro.parallel.campaign import CAMPAIGN_FIGURES
 from repro.policies.combined import build_portfolio, policy_by_name
 from repro.predict.knn import KnnPredictor
 from repro.predict.simple import OraclePredictor, UserEstimatePredictor
@@ -220,8 +223,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the audit summary and oracle tables "
                           "after the run")
 
+    parallel = p_run.add_argument_group(
+        "parallel evaluation",
+        "evaluate portfolio policies on worker processes; 0 (default) is "
+        "the serial path, bit-identical to previous releases; with N > 0 "
+        "the time constraint is charged in aggregate worker-seconds",
+    )
+    parallel.add_argument("--workers", type=_nonneg_int, default=0, metavar="N",
+                          help="worker processes for Algorithm 1's policy "
+                          "simulations (portfolio runs only)")
+
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("name", choices=_FIGURES)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a figure grid as independent cells, optionally in "
+        "parallel and memoised in a disk cache",
+    )
+    p_camp.add_argument("figure", choices=sorted(CAMPAIGN_FIGURES))
+    p_camp.add_argument("--workers", type=_nonneg_int, default=0, metavar="N",
+                        help="worker processes for the cell fan-out "
+                        "(0 = serial, bit-identical to the figure drivers)")
+    p_camp.add_argument("--cell-cache", metavar="DIR",
+                        help="content-addressed disk cache of completed "
+                        "cells; re-runs only recompute what changed")
+    p_camp.add_argument("--trace", action="append", choices=sorted(_TRACES),
+                        metavar="MODEL",
+                        help="restrict to this trace (repeatable; "
+                        "default: all four)")
+    p_camp.add_argument("--scale", type=_positive_float, default=None,
+                        metavar="FACTOR",
+                        help="scale the figure's simulated horizon (1.0 = "
+                        "the drivers' default two days)")
+    p_camp.add_argument("--export-json", metavar="PATH",
+                        help="write the figure rows as JSON (identical for "
+                        "serial and parallel runs)")
 
     sub.add_parser("policies", help="list the 60 portfolio policies")
     return parser
@@ -342,6 +379,7 @@ def _build_engine(args: argparse.Namespace):
                 seed=7,
                 quarantine_limit=args.quarantine_limit,
                 safe_policy=args.safe_policy,
+                workers=args.workers,
             )
         except KeyError as exc:
             raise SystemExit2(exc.args[0], 2) from exc
@@ -437,6 +475,86 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import comparison_rows
+    from repro.experiments.configs import DAY, DEFAULT_SCALE, ExperimentScale
+    from repro.parallel import (
+        Campaign,
+        CampaignError,
+        comparison_cells,
+        install_results,
+    )
+
+    predictor = CAMPAIGN_FIGURES[args.figure]
+    if args.scale is not None:
+        scale = ExperimentScale(
+            compare_duration=2 * DAY * args.scale,
+            sweep_duration=DAY * args.scale,
+        )
+    else:
+        scale = DEFAULT_SCALE
+    if args.trace:
+        wanted = set(args.trace)
+        traces = [spec for spec in TRACES if spec.name in wanted]
+    else:
+        traces = list(TRACES)
+    cells = comparison_cells(predictor, scale=scale, traces=traces)
+
+    def progress(done: int, total: int, outcome) -> None:
+        print(
+            f"[{done}/{total}] {outcome.spec.describe()} ({outcome.source})",
+            file=sys.stderr,
+        )
+
+    campaign = Campaign(
+        cells,
+        workers=args.workers,
+        cell_cache=args.cell_cache,
+        progress=progress,
+    )
+    try:
+        outcomes = campaign.run()
+    except CampaignError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        if args.cell_cache:
+            print(
+                "interrupted; completed cells are in the cell cache — "
+                "re-run the same command to resume",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
+    install_results(outcomes)
+    rows = comparison_rows(predictor=predictor, scale=scale, traces=traces)
+    print(
+        format_table(
+            rows,
+            title=f"{args.figure} campaign — {predictor} runtimes, "
+            f"{args.workers or 'no'} workers",
+        )
+    )
+    ran = sum(1 for o in outcomes if o.source == "ran")
+    print(
+        f"{len(outcomes)} cells: {ran} computed, {len(outcomes) - ran} from cache",
+        file=sys.stderr,
+    )
+    if args.export_json:
+        import json
+
+        with open(args.export_json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"figure": args.figure, "predictor": predictor, "rows": rows},
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote {args.export_json}")
+    return 0
+
+
 def _cmd_policies(_: argparse.Namespace) -> int:
     for policy in build_portfolio():
         print(policy.name)
@@ -449,6 +567,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "campaign": _cmd_campaign,
         "policies": _cmd_policies,
     }[args.command]
     return handler(args)

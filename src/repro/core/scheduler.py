@@ -107,6 +107,12 @@ class PortfolioScheduler(Scheduler):
         The fixed policy applied after failover — a policy object, a
         portfolio member's name, or ``None`` for the first portfolio
         member.
+    workers:
+        Evaluate portfolio policies on this many worker processes via
+        :class:`~repro.parallel.evaluator.ParallelPortfolioEvaluator`.
+        0 (default) is the serial path, bit-identical to previous
+        releases.  With workers > 0, Δ is charged in aggregate
+        worker-seconds (see docs/ARCHITECTURE.md).
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class PortfolioScheduler(Scheduler):
         reflection_weight: float = 0.0,
         quarantine_limit: int | None = None,
         safe_policy: CombinedPolicy | str | None = None,
+        workers: int = 0,
     ) -> None:
         if not 0.0 <= reflection_weight <= 1.0:
             raise ValueError(
@@ -135,6 +142,8 @@ class PortfolioScheduler(Scheduler):
             raise ValueError(
                 f"quarantine_limit must be >= 1, got {quarantine_limit}"
             )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         members = list(portfolio) if portfolio is not None else build_portfolio()
         self.utility = utility or UtilityFunction()
         self.simulator = OnlineSimulator(
@@ -143,6 +152,13 @@ class PortfolioScheduler(Scheduler):
             rv_accounting=rv_accounting,
             release_rule=release_rule,
         )
+        self.workers = int(workers)
+        evaluator = None
+        if self.workers > 0:
+            # Imported lazily: repro.parallel imports this module.
+            from repro.parallel.evaluator import ParallelPortfolioEvaluator
+
+            evaluator = ParallelPortfolioEvaluator(self.simulator, self.workers)
         self.selector = TimeConstrainedSelector(
             members,
             simulator=self.simulator,
@@ -150,6 +166,7 @@ class PortfolioScheduler(Scheduler):
             lam=lam,
             cost_clock=cost_clock,
             rng=np.random.default_rng(seed),
+            evaluator=evaluator,
         )
         self.selection_period = int(selection_period)
         self.reflection = ReflectionStore()

@@ -23,9 +23,8 @@ paper's deterministic 10 ms per policy for the §6.5 experiments.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -34,6 +33,9 @@ from repro.core.online_sim import OnlineSimulator, SimOutcome
 from repro.policies.combined import CombinedPolicy
 from repro.sim.clock import CostClock, WallCostClock
 from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.parallel)
+    from repro.parallel.evaluator import ParallelPortfolioEvaluator
 
 __all__ = [
     "PolicyScore",
@@ -116,6 +118,12 @@ class TimeConstrainedSelector:
         How ``c_i`` is measured (wall clock by default).
     rng:
         Source of the random picks from Poor (seed it for replays).
+    evaluator:
+        Optional :class:`~repro.parallel.evaluator.ParallelPortfolioEvaluator`:
+        policy simulations run concurrently on the shared worker pool and
+        Δ is charged in aggregate worker-seconds (see the parallel
+        subsystem docs).  ``None`` (default) is the paper's serial path,
+        bit-identical to previous releases.
     """
 
     def __init__(
@@ -126,6 +134,7 @@ class TimeConstrainedSelector:
         lam: float = 0.6,
         cost_clock: CostClock | None = None,
         rng: np.random.Generator | None = None,
+        evaluator: "ParallelPortfolioEvaluator | None" = None,
     ) -> None:
         if not portfolio:
             raise ValueError("portfolio must not be empty")
@@ -138,10 +147,14 @@ class TimeConstrainedSelector:
         self.lam = float(lam)
         self.cost_clock = cost_clock or WallCostClock()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.evaluator = evaluator
 
         self.smart: list[CombinedPolicy] = list(portfolio)
         self.stale: list[CombinedPolicy] = []
         self.poor: list[CombinedPolicy] = []
+        #: Fixed index of each member in the constructed portfolio: the
+        #: deterministic tie-break of the parallel merge order.
+        self._policy_index = {p.name: i for i, p in enumerate(portfolio)}
         self.invocations = 0
         self.total_simulated = 0
         #: Total evaluations quarantined (exceptions swallowed) so far.
@@ -165,12 +178,18 @@ class TimeConstrainedSelector:
         A raising policy must not abort the whole run (fail-safe portfolio
         evaluation): it is charged the wall time it burned, scored
         :data:`QUARANTINE_SCORE`, and demoted to Poor at set-rebuild time.
+
+        Timing brackets the ``evaluate`` call and nothing else — the
+        charged ``c_i`` must be the simulation's own cost, not the
+        selector's set-rebuild bookkeeping — and goes through
+        :meth:`CostClock.stamp`, so virtual clocks never touch the real
+        clock at all.
         """
-        begin = time.perf_counter()
+        begin = self.cost_clock.stamp()
         try:
             outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
         except Exception:
-            wall = time.perf_counter() - begin
+            wall = self.cost_clock.stamp() - begin
             self.quarantined += 1
             self.consecutive_quarantines += 1
             return PolicyScore(
@@ -180,7 +199,7 @@ class TimeConstrainedSelector:
                 outcome=None,
                 quarantined=True,
             )
-        wall = time.perf_counter() - begin
+        wall = self.cost_clock.stamp() - begin
         self.consecutive_quarantines = 0
         cost = self.cost_clock.measure(wall, outcome.steps)
         return PolicyScore(policy=policy, score=outcome.score, cost=cost, outcome=outcome)
@@ -197,11 +216,58 @@ class TimeConstrainedSelector:
         Follows the paper's pseudo-code exactly: quota split (lines 1-2),
         sequential Smart and Stale phases (3-12), leftover-funded random
         Poor phase (13-19), set rebuild (20-23), best-first return (24).
+        With a parallel ``evaluator``, phases 2a-2c run in concurrent
+        waves instead (same visit order, Δ charged in aggregate
+        worker-seconds) and the score table is merged with a
+        deterministic total order.
         """
         delta = self.time_constraint
         d1, d2, d3 = split_budget(
             delta, len(self.smart), len(self.stale), len(self.poor)
         )
+        if self.evaluator is not None:
+            simulated, spent = self._phases_parallel(
+                d1, d2, d3, queue, waits, runtimes, profile
+            )
+            # Deterministic total order — (score desc, fixed policy index)
+            # — so the merge cannot depend on worker completion order.
+            simulated.sort(
+                key=lambda ps: (-ps.score, self._policy_index[ps.policy.name])
+            )
+        else:
+            simulated, spent = self._phases_serial(
+                d1, d2, d3, queue, waits, runtimes, profile
+            )
+            # Stable sort on score alone: preserves simulation order among
+            # ties, bit-identical to the historical serial selector.
+            simulated.sort(key=lambda ps: -ps.score)
+
+        # Phase 3: rebuild the sets.
+        # Unsimulated Smart policies age into the end of Stale.
+        self.stale.extend(self.smart)
+        self.smart = []
+        best = self._rebuild_sets(simulated)
+
+        self.invocations += 1
+        self.total_simulated += len(simulated)
+        return SelectionOutcome(
+            best=best,
+            simulated=tuple(simulated),
+            budget=delta,
+            spent=spent,
+        )
+
+    def _phases_serial(
+        self,
+        d1: float,
+        d2: float,
+        d3: float,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> tuple[list[PolicyScore], float]:
+        """Phases 2a-2c, one policy at a time (the paper's loop)."""
         simulated: list[PolicyScore] = []
         spent = 0.0
 
@@ -230,13 +296,89 @@ class TimeConstrainedSelector:
             d3 -= cost
             spent += cost
 
-        # Phase 3: rebuild the sets.
-        # Unsimulated Smart policies age into the end of Stale.
-        self.stale.extend(self.smart)
-        self.smart = []
-        simulated.sort(key=lambda ps: -ps.score)
-        # Quarantined policies (score −inf, stably sorted last) are always
-        # demoted to Poor and never promoted to Smart or chosen as best.
+        return simulated, spent
+
+    def _phases_parallel(
+        self,
+        d1: float,
+        d2: float,
+        d3: float,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> tuple[list[PolicyScore], float]:
+        """Phases 2a-2c in concurrent waves on the worker pool.
+
+        Visit order matches the serial loop (Smart in order, Stale in
+        staleness order, Poor by the same seeded random picks).  Each
+        wave ships at most ``evaluator.workers`` policies; the wave's
+        summed per-policy costs are charged against the phase quota, so Δ
+        is a budget of aggregate worker-seconds (documented deviation).
+        """
+        evaluator = self.evaluator
+        assert evaluator is not None
+        simulated: list[PolicyScore] = []
+        spent = 0.0
+
+        def run_phase(take_next: "Callable[[], CombinedPolicy | None]",
+                      budget: float) -> float:
+            nonlocal spent
+            while budget > 0:
+                wave: list[tuple[int, CombinedPolicy]] = []
+                for _ in range(evaluator.workers):
+                    policy = take_next()
+                    if policy is None:
+                        break
+                    wave.append((self._policy_index[policy.name], policy))
+                if not wave:
+                    break
+                by_index = {index: policy for index, policy in wave}
+                records = evaluator.evaluate_wave(
+                    wave, queue, waits, runtimes, profile
+                )
+                for rec in records:  # submission order, like the serial loop
+                    policy = by_index[rec.index]
+                    if rec.error is not None:
+                        self.quarantined += 1
+                        self.consecutive_quarantines += 1
+                        ps = PolicyScore(
+                            policy=policy,
+                            score=QUARANTINE_SCORE,
+                            cost=self.cost_clock.measure(rec.wall, 0),
+                            outcome=None,
+                            quarantined=True,
+                        )
+                    else:
+                        self.consecutive_quarantines = 0
+                        assert rec.outcome is not None
+                        ps = PolicyScore(
+                            policy=policy,
+                            score=rec.outcome.score,
+                            cost=self.cost_clock.measure(rec.wall, rec.outcome.steps),
+                            outcome=rec.outcome,
+                        )
+                    simulated.append(ps)
+                    budget -= ps.cost
+                    spent += ps.cost
+            return budget
+
+        d1 = run_phase(lambda: self.smart.pop(0) if self.smart else None, d1)
+        d2 = run_phase(lambda: self.stale.pop(0) if self.stale else None, d2)
+
+        def pick_poor() -> CombinedPolicy | None:
+            if not self.poor:
+                return None
+            return self.poor.pop(int(self.rng.integers(len(self.poor))))
+
+        run_phase(pick_poor, d3 + d2 + d1)
+        return simulated, spent
+
+    def _rebuild_sets(self, simulated: list[PolicyScore]) -> CombinedPolicy:
+        """Rebuild Smart/Poor from the *sorted* score table; return best.
+
+        Quarantined policies (score −inf, sorted last) are always demoted
+        to Poor and never promoted to Smart or chosen as best."""
         healthy = [ps for ps in simulated if not ps.quarantined]
         if healthy:
             k = max(1, round(self.lam * len(healthy)))
@@ -253,15 +395,7 @@ class TimeConstrainedSelector:
             )
             best = fallback[0]
         self.poor.extend(ps.policy for ps in simulated if ps.quarantined)
-
-        self.invocations += 1
-        self.total_simulated += len(simulated)
-        return SelectionOutcome(
-            best=best,
-            simulated=tuple(simulated),
-            budget=delta,
-            spent=spent,
-        )
+        return best
 
     # -- introspection ---------------------------------------------------
 

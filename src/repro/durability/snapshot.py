@@ -35,6 +35,7 @@ __all__ = [
     "SnapshotStore",
     "MANIFEST_NAME",
     "SNAPSHOT_FORMAT",
+    "atomic_write",
 ]
 
 MANIFEST_NAME = "MANIFEST.json"
@@ -127,8 +128,12 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    """Write *data* to *path* via temp file + fsync + rename."""
+def atomic_write(path: Path, data: bytes) -> None:
+    """Write *data* to *path* via temp file + fsync + rename.
+
+    A crash at any instant leaves either the previous file or the new one,
+    never a torn write (plus, at worst, an orphaned ``.tmp``).  Shared with
+    the parallel subsystem's cell cache."""
     fd, tmp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
@@ -167,7 +172,7 @@ class SnapshotStore:
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest()
         name = f"snap-{sequence:08d}.pkl"
-        _atomic_write(self.directory / name, payload)
+        atomic_write(self.directory / name, payload)
         info = SnapshotInfo(
             sequence=sequence,
             payload=name,
@@ -185,7 +190,7 @@ class SnapshotStore:
             "events_processed": info.events_processed,
             "completed": info.completed,
         }
-        _atomic_write(
+        atomic_write(
             self.directory / MANIFEST_NAME,
             (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
         )

@@ -9,6 +9,8 @@ the benchmark suite's wall time roughly in half on a single core.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 from typing import Callable, Sequence
 
 from repro.core.scheduler import PortfolioScheduler
@@ -25,6 +27,9 @@ __all__ = [
     "cached_trace",
     "cached_fixed_run",
     "cached_portfolio_run",
+    "config_token",
+    "install_fixed_result",
+    "install_portfolio_result",
     "make_predictor",
     "PREDICTOR_NAMES",
     "clear_cache",
@@ -33,6 +38,70 @@ __all__ = [
 _traces: dict[tuple, list[Job]] = {}
 _fixed: dict[tuple, ExperimentResult] = {}
 _portfolio: dict[tuple, tuple[ExperimentResult, PortfolioScheduler]] = {}
+
+
+def _token(value: object) -> object:
+    """Recursive canonical token of a config value.
+
+    Dataclasses are expanded field by field via :func:`dataclasses.fields`,
+    so a field added to :class:`EngineConfig` (or any nested model) later
+    is picked up automatically — two configs differing *only* in a
+    late-added knob can never collide on a cache key.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _token(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if isinstance(value, (list, tuple)):
+        return tuple(_token(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((repr(k), _token(v)) for k, v in value.items()))
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    return repr(value)
+
+
+def config_token(config: EngineConfig) -> tuple:
+    """Canonical, hashable cache key component for an :class:`EngineConfig`.
+
+    Covers *every* field — including the audit, resilience, and
+    quarantine/safe-policy knobs added after the cache was first written —
+    and is shared by the in-process memo below and the on-disk cell cache
+    (:mod:`repro.parallel.cellcache`)."""
+    return _token(config)  # type: ignore[return-value]
+
+
+def _fixed_key(
+    spec_name: str,
+    duration: float,
+    trace_seed: int,
+    policy_name: str,
+    predictor_name: str,
+    config: EngineConfig,
+) -> tuple:
+    return (spec_name, duration, trace_seed, policy_name, predictor_name,
+            config_token(config))
+
+
+def _portfolio_key(
+    spec_name: str,
+    duration: float,
+    trace_seed: int,
+    predictor_name: str,
+    config: EngineConfig,
+    scheduler_kwargs: dict[str, object],
+) -> tuple:
+    return (
+        spec_name,
+        duration,
+        trace_seed,
+        predictor_name,
+        config_token(config),
+        tuple(sorted((k, repr(v)) for k, v in scheduler_kwargs.items())),
+    )
 
 PREDICTOR_NAMES = ("oracle", "knn", "user")
 
@@ -70,11 +139,28 @@ def cached_fixed_run(
     config: EngineConfig | None = None,
 ) -> ExperimentResult:
     cfg = config or EngineConfig()
-    key = (spec.name, duration, trace_seed, policy.name, predictor_name, cfg)
+    key = _fixed_key(spec.name, duration, trace_seed, policy.name, predictor_name, cfg)
     if key not in _fixed:
         jobs = cached_trace(spec, duration, trace_seed)
         _fixed[key] = run_fixed(jobs, policy, make_predictor(predictor_name), cfg)
     return _fixed[key]
+
+
+def install_fixed_result(
+    spec_name: str,
+    duration: float,
+    trace_seed: int,
+    policy_name: str,
+    predictor_name: str,
+    config: EngineConfig,
+    result: ExperimentResult,
+) -> None:
+    """Pre-seed the memo with an externally computed run (campaign fan-out:
+    workers compute the cells, the main process installs them, and the
+    figure drivers then hydrate from cache exactly as in a serial run)."""
+    key = _fixed_key(spec_name, duration, trace_seed, policy_name,
+                     predictor_name, config)
+    _fixed[key] = result
 
 
 def cached_portfolio_run(
@@ -86,13 +172,8 @@ def cached_portfolio_run(
     **scheduler_kwargs: object,
 ) -> tuple[ExperimentResult, PortfolioScheduler]:
     cfg = config or EngineConfig()
-    key = (
-        spec.name,
-        duration,
-        trace_seed,
-        predictor_name,
-        cfg,
-        tuple(sorted((k, repr(v)) for k, v in scheduler_kwargs.items())),
+    key = _portfolio_key(
+        spec.name, duration, trace_seed, predictor_name, cfg, scheduler_kwargs
     )
     if key not in _portfolio:
         jobs = cached_trace(spec, duration, trace_seed)
@@ -100,3 +181,20 @@ def cached_portfolio_run(
             jobs, make_predictor(predictor_name), cfg, **scheduler_kwargs
         )
     return _portfolio[key]
+
+
+def install_portfolio_result(
+    spec_name: str,
+    duration: float,
+    trace_seed: int,
+    predictor_name: str,
+    config: EngineConfig,
+    scheduler_kwargs: dict[str, object],
+    result: ExperimentResult,
+    scheduler: PortfolioScheduler,
+) -> None:
+    """Pre-seed the portfolio memo (see :func:`install_fixed_result`)."""
+    key = _portfolio_key(
+        spec_name, duration, trace_seed, predictor_name, config, scheduler_kwargs
+    )
+    _portfolio[key] = (result, scheduler)

@@ -6,6 +6,7 @@ information regimes (accurate / k-NN predicted / user estimated).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.scheduler import PortfolioScheduler
 from repro.core.utility import UtilityFunction
@@ -87,11 +88,13 @@ def compare_trace(
 
 
 def comparison_rows(
-    predictor: str = "oracle", scale: ExperimentScale | None = None
+    predictor: str = "oracle",
+    scale: ExperimentScale | None = None,
+    traces: Sequence[TraceSpec] | None = None,
 ) -> list[dict[str, object]]:
-    """Flattened rows for all four traces (one figure's table)."""
+    """Flattened rows, one figure's table (default: all four traces)."""
     rows: list[dict[str, object]] = []
-    for spec in TRACES:
+    for spec in traces if traces is not None else TRACES:
         cmp = compare_trace(spec, predictor, scale)
         for cb in cmp.clusters:
             m = cb.result.metrics

@@ -1,0 +1,56 @@
+"""Parallel execution subsystem: multi-process portfolio evaluation and
+campaign fan-out over one persistent, spawn-safe process pool.
+
+Two layers share the pool (:mod:`repro.parallel.pool`):
+
+* :class:`~repro.parallel.evaluator.ParallelPortfolioEvaluator` — runs
+  Algorithm 1's online policy simulations concurrently inside one
+  engine run (wired through ``PortfolioScheduler(workers=N)`` and
+  ``repro run --workers N``);
+* :class:`~repro.parallel.campaign.Campaign` — fans a figure/table grid
+  out as independent cells (``repro campaign fig7 --workers N``),
+  memoised in a content-addressed, crash-safe disk cache
+  (:class:`~repro.parallel.cellcache.CellCache`).
+
+``workers=0`` everywhere means the historical serial path, bit-identical
+to a build without this subsystem.  See docs/ARCHITECTURE.md for the
+pool lifecycle and the parallel Δ-budget semantics.
+"""
+
+from repro.parallel.campaign import (
+    CAMPAIGN_FIGURES,
+    Campaign,
+    CampaignError,
+    CellOutcome,
+    CellSpec,
+    comparison_cells,
+    install_results,
+)
+from repro.parallel.cellcache import CELL_CACHE_FORMAT, CellCache
+from repro.parallel.evaluator import EvalRecord, ParallelPortfolioEvaluator
+from repro.parallel.pool import (
+    WorkerPool,
+    cpu_workers,
+    get_pool,
+    reset_pool,
+    shutdown_pool,
+)
+
+__all__ = [
+    "CAMPAIGN_FIGURES",
+    "Campaign",
+    "CampaignError",
+    "CellOutcome",
+    "CellSpec",
+    "CELL_CACHE_FORMAT",
+    "CellCache",
+    "EvalRecord",
+    "ParallelPortfolioEvaluator",
+    "WorkerPool",
+    "comparison_cells",
+    "cpu_workers",
+    "get_pool",
+    "install_results",
+    "reset_pool",
+    "shutdown_pool",
+]

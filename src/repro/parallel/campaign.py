@@ -1,0 +1,410 @@
+"""Campaign fan-out: figure/table/multi-seed grids as independent cells.
+
+The figure drivers run every ``(trace × policy × seed)`` cell of their
+grids serially.  A :class:`Campaign` expands such a grid into explicit
+:class:`CellSpec` cells and executes them across the shared worker pool:
+
+* **deterministic cells** — every cell carries its full specification
+  (workload identity, seeds, predictor, policy/scheduler parameters and
+  the complete :class:`~repro.experiments.engine.EngineConfig`), so a
+  cell computes the same result in any process, on any worker, in any
+  order;
+* **memoisation** — completed cells are persisted in a content-addressed
+  on-disk :class:`~repro.parallel.cellcache.CellCache`; re-running a
+  campaign after a crash or a partial edit only recomputes what changed;
+* **fault tolerance** — a worker death (SIGKILL, OOM) poisons the pool;
+  the campaign respawns it and re-submits only the unfinished cells,
+  bounded by a per-cell retry budget;
+* **clean Ctrl-C** — pending cells are cancelled and the interrupt
+  re-raised; everything already completed is in the cell cache, so the
+  re-run resumes instead of restarting;
+* **serial equivalence** — ``workers=0`` executes the very same cell
+  functions in-process, in cell order: its results (and any exported
+  JSON) are bit-identical to the parallel run's.
+
+The campaign's results are installed back into the in-process experiment
+memo (:mod:`repro.experiments.cache`), after which the untouched serial
+figure drivers hydrate from cache — parallelism changes *when* cells are
+computed, never *what* they compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+from concurrent.futures import BrokenExecutor, FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.audit.config import default_audit_config
+from repro.core.scheduler import PortfolioScheduler
+from repro.experiments.cache import (
+    cached_trace,
+    config_token,
+    install_fixed_result,
+    install_portfolio_result,
+    make_predictor,
+)
+from repro.experiments.configs import DEFAULT_SCALE, ExperimentScale, portfolio_kwargs
+from repro.experiments.engine import EngineConfig, ExperimentResult
+from repro.experiments.runner import run_fixed, run_portfolio
+from repro.policies.combined import build_portfolio, policy_by_name
+from repro.workload.synthetic import TRACES, TraceSpec
+
+from repro.parallel.cellcache import CellCache
+from repro.parallel.pool import WorkerPool, get_pool, reset_pool
+
+__all__ = [
+    "CellSpec",
+    "CellOutcome",
+    "Campaign",
+    "CampaignError",
+    "comparison_cells",
+    "install_results",
+    "CAMPAIGN_FIGURES",
+]
+
+_TRACES_BY_NAME = {spec.name: spec for spec in TRACES}
+
+#: Figures a campaign can regenerate: each is the Figs. 4/7/8 grid under
+#: one runtime-information regime (Fig. 5 reuses Fig. 4's runs).
+CAMPAIGN_FIGURES = {
+    "fig4": "oracle",
+    "fig5": "oracle",
+    "fig7": "knn",
+    "fig8": "user",
+}
+
+
+class CampaignError(RuntimeError):
+    """A cell kept failing after exhausting its retry budget."""
+
+
+@dataclass(slots=True, frozen=True)
+class CellSpec:
+    """One independent experiment cell of a campaign grid.
+
+    ``scheduler_kwargs`` (portfolio cells only) is a sorted tuple of
+    ``(name, value)`` pairs so specs stay hashable and canonically
+    ordered; values must be picklable and ``repr``-stable.
+    """
+
+    kind: str  # "fixed" | "portfolio"
+    trace: str  # TraceSpec name in the synthetic registry
+    duration: float
+    trace_seed: int
+    predictor: str
+    policy: str | None = None  # fixed cells: portfolio member name
+    config: EngineConfig = field(default_factory=EngineConfig)
+    scheduler_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "portfolio"):
+            raise ValueError(f"kind must be 'fixed' or 'portfolio', got {self.kind!r}")
+        if self.kind == "fixed" and not self.policy:
+            raise ValueError("fixed cells need a policy name")
+        if self.kind == "portfolio" and self.policy is not None:
+            raise ValueError("portfolio cells must not name a policy")
+        if self.trace not in _TRACES_BY_NAME:
+            raise ValueError(
+                f"unknown trace {self.trace!r}; pick from {sorted(_TRACES_BY_NAME)}"
+            )
+
+    def token(self) -> tuple:
+        """Canonical token for content-addressed caching.
+
+        Includes the full engine config via
+        :func:`~repro.experiments.cache.config_token`, so every audit /
+        resilience / quarantine knob participates in the key."""
+        return (
+            self.kind,
+            self.trace,
+            repr(self.duration),
+            self.trace_seed,
+            self.predictor,
+            self.policy,
+            config_token(self.config),
+            tuple((k, repr(v)) for k, v in self.scheduler_kwargs),
+        )
+
+    def describe(self) -> str:
+        what = self.policy if self.kind == "fixed" else "PORTFOLIO"
+        return f"{self.trace}/{self.predictor}/{what}"
+
+
+@dataclass(slots=True, frozen=True)
+class CellOutcome:
+    """A completed cell: its spec, result, and where the result came from."""
+
+    spec: CellSpec
+    result: ExperimentResult
+    scheduler: PortfolioScheduler | None
+    source: str  # "ran" | "cache"
+
+
+def _resolved_config(config: EngineConfig) -> EngineConfig:
+    """Pin the effective audit config into the cell's EngineConfig.
+
+    Workers are fresh processes: the main process's in-memory audit
+    default (e.g. the test suite's strict-everywhere fixture) would not
+    reach them via :func:`default_audit_config`.  Resolving it here makes
+    cells self-contained and their cache keys cover the *effective* audit
+    level."""
+    if config.audit is not None:
+        return config
+    return dataclasses.replace(config, audit=default_audit_config())
+
+
+def _maybe_kill_for_test() -> None:
+    """Crash-injection hook for the worker-death tests and CI smoke.
+
+    When ``REPRO_TEST_KILL_ONCE`` names a marker path, the first worker
+    to claim the marker SIGKILLs itself mid-cell — exercising the
+    pool-respawn/retry path with a genuinely unclean death.  Only ever
+    fires inside pool workers, exactly once per marker file."""
+    marker = os.environ.get("REPRO_TEST_KILL_ONCE")
+    if not marker or multiprocessing.parent_process() is None:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _run_cell(spec: CellSpec) -> tuple[ExperimentResult, PortfolioScheduler | None]:
+    """Execute one cell (worker- and main-process safe, deterministic)."""
+    _maybe_kill_for_test()
+    trace_spec = _TRACES_BY_NAME[spec.trace]
+    jobs = cached_trace(trace_spec, spec.duration, spec.trace_seed)
+    predictor = make_predictor(spec.predictor)
+    if spec.kind == "fixed":
+        assert spec.policy is not None
+        result = run_fixed(jobs, policy_by_name(spec.policy), predictor, spec.config)
+        return result, None
+    return run_portfolio(jobs, predictor, spec.config, **dict(spec.scheduler_kwargs))
+
+
+class Campaign:
+    """Executes a list of cells, optionally in parallel and disk-cached.
+
+    Parameters
+    ----------
+    cells:
+        The grid, in the order results should be returned.
+    workers:
+        0 (default) runs every cell in-process, serially, in cell order —
+        bit-identical to the historical drivers.  N ≥ 1 fans out across
+        the shared spawn pool.
+    cell_cache:
+        Optional directory (or :class:`CellCache`) for cross-process
+        memoisation of completed cells.
+    retries:
+        How many times a cell may be re-submitted after transient worker
+        deaths before the campaign gives up.
+    fresh_pool:
+        Use a dedicated pool torn down after the run instead of the
+        process-global one (benchmarks want cold, isolated workers).
+    progress:
+        Optional callback ``(done, total, outcome)`` streamed as cells
+        complete (parallel: completion order; serial: cell order).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[CellSpec],
+        workers: int = 0,
+        cell_cache: CellCache | str | os.PathLike | None = None,
+        retries: int = 2,
+        fresh_pool: bool = False,
+        progress: "Callable[[int, int, CellOutcome], None] | None" = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.cells = list(cells)
+        self.workers = int(workers)
+        if cell_cache is not None and not isinstance(cell_cache, CellCache):
+            cell_cache = CellCache(cell_cache)
+        self.cell_cache = cell_cache
+        self.retries = int(retries)
+        self.fresh_pool = bool(fresh_pool)
+        self.progress = progress
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> list[CellOutcome]:
+        """Execute all cells; results come back in cell order."""
+        effective = [
+            dataclasses.replace(spec, config=_resolved_config(spec.config))
+            for spec in self.cells
+        ]
+        keys = [CellCache.key_of(spec.token()) for spec in effective]
+        outcomes: dict[int, CellOutcome] = {}
+        done = 0
+
+        # Disk-cache hits first: they cost one read, no pool traffic.
+        pending: list[int] = []
+        for i, spec in enumerate(effective):
+            payload = self.cell_cache.get(keys[i]) if self.cell_cache else None
+            if payload is not None:
+                result, scheduler = payload
+                outcomes[i] = CellOutcome(self.cells[i], result, scheduler, "cache")
+                done += 1
+                self._report(done, outcomes[i])
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.workers == 0:
+                done = self._run_serial(effective, keys, pending, outcomes, done)
+            else:
+                done = self._run_parallel(effective, keys, pending, outcomes, done)
+        return [outcomes[i] for i in range(len(self.cells))]
+
+    def _report(self, done: int, outcome: CellOutcome) -> None:
+        if self.progress is not None:
+            self.progress(done, len(self.cells), outcome)
+
+    def _store(self, key: str, result, scheduler) -> None:
+        if self.cell_cache is not None:
+            self.cell_cache.put(key, (result, scheduler))
+
+    def _run_serial(self, effective, keys, pending, outcomes, done) -> int:
+        for i in pending:
+            result, scheduler = _run_cell(effective[i])
+            self._store(keys[i], result, scheduler)
+            outcomes[i] = CellOutcome(self.cells[i], result, scheduler, "ran")
+            done += 1
+            self._report(done, outcomes[i])
+        return done
+
+    def _run_parallel(self, effective, keys, pending, outcomes, done) -> int:
+        pool = WorkerPool(self.workers) if self.fresh_pool else get_pool(self.workers)
+        attempts = {i: 0 for i in pending}
+        try:
+            while pending:
+                futures: dict[Future, int] = {
+                    pool.submit(_run_cell, effective[i]): i for i in pending
+                }
+                broken = False
+                not_done = set(futures)
+                try:
+                    while not_done:
+                        finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            i = futures[future]
+                            result, scheduler = future.result()
+                            self._store(keys[i], result, scheduler)
+                            outcomes[i] = CellOutcome(
+                                self.cells[i], result, scheduler, "ran"
+                            )
+                            done += 1
+                            self._report(done, outcomes[i])
+                except BrokenExecutor:
+                    broken = True
+                except KeyboardInterrupt:
+                    for future in not_done:
+                        future.cancel()
+                    raise
+                pending = []
+                if broken:
+                    # A worker died (SIGKILL/OOM): every in-flight future
+                    # is lost even if its cell was innocent.  Respawn the
+                    # pool and re-submit whatever has not completed.
+                    if self.fresh_pool:
+                        pool.reset()
+                    else:
+                        reset_pool()
+                        pool = get_pool(self.workers)
+                    lost = sorted(i for i in futures.values() if i not in outcomes)
+                    for i in lost:
+                        attempts[i] += 1
+                        if attempts[i] > self.retries:
+                            raise CampaignError(
+                                f"cell {effective[i].describe()} failed "
+                                f"{attempts[i]} times (worker deaths); giving up"
+                            )
+                    pending = lost
+        finally:
+            if self.fresh_pool:
+                pool.shutdown()
+        return done
+
+
+# -- grid builders & cache priming -------------------------------------------
+
+
+def comparison_cells(
+    predictor: str,
+    scale: ExperimentScale | None = None,
+    traces: Sequence[TraceSpec] | None = None,
+    config: EngineConfig | None = None,
+) -> list[CellSpec]:
+    """The Figs. 4/7/8 grid as cells: 60 fixed policies + the portfolio,
+    per trace, under one runtime-information regime."""
+    scale = scale or DEFAULT_SCALE
+    cfg = config or EngineConfig()
+    cells: list[CellSpec] = []
+    for spec in traces if traces is not None else TRACES:
+        for policy in build_portfolio():
+            cells.append(
+                CellSpec(
+                    kind="fixed",
+                    trace=spec.name,
+                    duration=scale.compare_duration,
+                    trace_seed=scale.seed,
+                    predictor=predictor,
+                    policy=policy.name,
+                    config=cfg,
+                )
+            )
+        cells.append(
+            CellSpec(
+                kind="portfolio",
+                trace=spec.name,
+                duration=scale.compare_duration,
+                trace_seed=scale.seed,
+                predictor=predictor,
+                config=cfg,
+                scheduler_kwargs=tuple(sorted(portfolio_kwargs().items())),
+            )
+        )
+    return cells
+
+
+def install_results(outcomes: Sequence[CellOutcome]) -> None:
+    """Install campaign outcomes into the in-process experiment memo.
+
+    Keys use each cell's *original* config (before audit resolution), so
+    the untouched figure drivers — which pass ``config=None`` and rely on
+    the process default audit — hit the cache exactly."""
+    for outcome in outcomes:
+        spec = outcome.spec
+        if spec.kind == "fixed":
+            assert spec.policy is not None
+            install_fixed_result(
+                spec.trace,
+                spec.duration,
+                spec.trace_seed,
+                spec.policy,
+                spec.predictor,
+                spec.config,
+                outcome.result,
+            )
+        else:
+            assert outcome.scheduler is not None
+            install_portfolio_result(
+                spec.trace,
+                spec.duration,
+                spec.trace_seed,
+                spec.predictor,
+                spec.config,
+                dict(spec.scheduler_kwargs),
+                outcome.result,
+                outcome.scheduler,
+            )

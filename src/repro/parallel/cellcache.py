@@ -1,0 +1,100 @@
+"""Content-addressed, disk-backed memoisation of campaign cells.
+
+A campaign expands into independent *cells* (one experiment run each).
+Cells are deterministic given their full specification, so a completed
+cell can be persisted and reused across processes, crashes, and partial
+edits: re-running a campaign only recomputes the cells whose
+specification actually changed.
+
+Keying
+------
+The cache key is the SHA-256 of the cell's *canonical token*: the kind
+of run, workload identity (trace model, duration, seed), predictor,
+policy/scheduler parameters, and the full
+:class:`~repro.experiments.engine.EngineConfig` expanded field-by-field
+by :func:`repro.experiments.cache.config_token`.  Because the token
+reflects over ``dataclasses.fields``, a knob added to the engine later
+(audit levels, fault models, quarantine caps, ...) automatically changes
+the key — a stale hit on a config differing only in a late-added field
+is structurally impossible.  A format version is folded into every key
+so payload-layout changes invalidate old entries wholesale.
+
+Storage
+-------
+One file per cell, named by its key.  Each file carries its own
+integrity header (SHA-256 of the pickled payload) and is written with
+the same temp-file + ``fsync`` + rename protocol as the durability
+layer's :class:`~repro.durability.snapshot.SnapshotStore`, so a crash
+mid-write can never leave a readable-but-torn entry.  Corrupt or
+unreadable entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.durability.snapshot import atomic_write
+
+__all__ = ["CellCache", "CELL_CACHE_FORMAT"]
+
+#: Bump when the pickled payload layout changes incompatibly.
+CELL_CACHE_FORMAT = 1
+
+_MAGIC = b"repro-cell-cache\n"
+
+
+class CellCache:
+    """A directory of content-addressed experiment results."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key_of(token: object) -> str:
+        """SHA-256 hex digest of a canonical cell token."""
+        text = repr((CELL_CACHE_FORMAT, token))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def path_of(self, key: str) -> Path:
+        return self.directory / f"cell-{key}.pkl"
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The stored payload for *key*, or None on miss/corruption."""
+        path = self.path_of(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if not raw.startswith(_MAGIC):
+            path.unlink(missing_ok=True)
+            return None
+        body = raw[len(_MAGIC):]
+        digest, _, blob = body.partition(b"\n")
+        if hashlib.sha256(blob).hexdigest().encode("ascii") != digest:
+            # Torn or tampered entry: recompute rather than trust it.
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Atomically persist *payload* under *key* (write-then-rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+        atomic_write(self.path_of(key), _MAGIC + digest + b"\n" + blob)
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("cell-*.pkl"))

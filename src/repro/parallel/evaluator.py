@@ -1,0 +1,182 @@
+"""Parallel portfolio evaluation: many policies per wave, one snapshot ship.
+
+The paper's central engineering constraint is that evaluating all 60
+portfolio policies online within the time constraint Δ is impossible on
+one core — which is exactly what forces Algorithm 1's Smart/Stale/Poor
+triage.  This module supplies the systems answer the paper leaves on the
+table: ship the scheduling snapshot ``(queue, waits, runtimes, profile)``
+to the shared worker pool once per wave and run
+:meth:`~repro.core.online_sim.OnlineSimulator.evaluate` for a whole wave
+of policies concurrently.
+
+Budget semantics (deliberate deviation, see docs/ARCHITECTURE.md)
+-----------------------------------------------------------------
+Each policy is still charged the wall time *it actually burned on its
+worker*, measured strictly around the ``evaluate`` call.  Under parallel
+evaluation Δ therefore becomes a budget of **aggregate worker-seconds**
+rather than elapsed main-process seconds: N workers drain roughly N× more
+policies out of the same Δ of elapsed time, while Algorithm 1's set-size
+arithmetic (‖Smart‖ = λK etc.) keeps operating on per-policy costs and
+stays meaningful.  With the deterministic
+:class:`~repro.sim.clock.VirtualCostClock` the charged costs are
+machine- and worker-independent, so selection stays reproducible.
+
+Determinism
+-----------
+Outcomes are merged in submission order, and the selector orders the
+final score table by ``(score, fixed policy index)`` — a deterministic
+total order that does not depend on which worker finished first.
+
+Fault tolerance
+---------------
+A worker death poisons the pool; the evaluator respawns it and retries
+the wave once, then falls back to in-process serial evaluation — a
+parallel evaluation can therefore never fail in a way the serial path
+would not.  Per-policy exceptions are returned as error records and fed
+into the selector's quarantine machinery exactly like serial failures.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cloud.profile import CloudProfile
+from repro.core.online_sim import OnlineSimulator, SimOutcome
+from repro.policies.combined import CombinedPolicy
+from repro.workload.job import Job
+
+from repro.parallel.pool import get_pool, reset_pool
+
+__all__ = ["EvalRecord", "ParallelPortfolioEvaluator"]
+
+
+@dataclass(slots=True, frozen=True)
+class EvalRecord:
+    """One policy's evaluation as reported by a worker.
+
+    ``outcome`` is ``None`` — and ``error`` the formatted exception —
+    when the simulation raised (quarantine path).  ``wall`` is the time
+    the ``evaluate`` call alone burned on its worker."""
+
+    index: int
+    outcome: SimOutcome | None
+    error: str | None
+    wall: float
+
+
+def _evaluate_chunk(
+    simulator: OnlineSimulator,
+    items: Sequence[tuple[int, CombinedPolicy]],
+    queue: Sequence[Job],
+    waits: Sequence[float],
+    runtimes: Sequence[float],
+    profile: CloudProfile,
+) -> list[EvalRecord]:
+    """Worker-side: evaluate a contiguous chunk of one wave sequentially."""
+    records: list[EvalRecord] = []
+    for index, policy in items:
+        begin = time.perf_counter()
+        try:
+            outcome = simulator.evaluate(queue, waits, runtimes, profile, policy)
+        except Exception as exc:
+            records.append(
+                EvalRecord(
+                    index=index,
+                    outcome=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall=time.perf_counter() - begin,
+                )
+            )
+        else:
+            records.append(
+                EvalRecord(
+                    index=index,
+                    outcome=outcome,
+                    error=None,
+                    wall=time.perf_counter() - begin,
+                )
+            )
+    return records
+
+
+def _chunk(items: list, n: int) -> list[list]:
+    """Split *items* into at most *n* contiguous, near-equal chunks."""
+    n = min(n, len(items))
+    if n <= 0:
+        return []
+    size, extra = divmod(len(items), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+class ParallelPortfolioEvaluator:
+    """Evaluates waves of portfolio policies on the shared worker pool.
+
+    Holds only picklable state (the online simulator and a worker count);
+    the pool itself is process-global and re-fetched per wave, so
+    schedulers carrying an evaluator still snapshot/restore cleanly
+    through the durability layer.
+    """
+
+    def __init__(self, simulator: OnlineSimulator, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.simulator = simulator
+        self.workers = int(workers)
+
+    def evaluate_wave(
+        self,
+        wave: Sequence[tuple[int, CombinedPolicy]],
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> list[EvalRecord]:
+        """Evaluate *wave* (``(fixed index, policy)`` pairs) concurrently.
+
+        Returns records in submission order regardless of completion
+        order.  Never raises on worker death — see the module docstring.
+        """
+        items = list(wave)
+        if not items:
+            return []
+        # The snapshot is pickled once per chunk (not once per policy):
+        # queue/waits/runtimes/profile dominate the payload, the policy
+        # objects are a few dataclasses each.
+        chunks = _chunk(items, self.workers)
+        for _ in range(2):
+            pool = get_pool(self.workers)
+            futures = [
+                pool.submit(
+                    _evaluate_chunk,
+                    self.simulator,
+                    chunk,
+                    list(queue),
+                    list(waits),
+                    list(runtimes),
+                    profile,
+                )
+                for chunk in chunks
+            ]
+            try:
+                results: list[EvalRecord] = []
+                for future in futures:  # submission order == wave order
+                    results.extend(future.result())
+                return results
+            except BrokenExecutor:
+                # A worker died mid-wave (OOM-killer, SIGKILL, ...).
+                # Respawn and retry the whole wave: evaluations are pure,
+                # so re-running them is always safe.
+                reset_pool()
+        # Pool keeps dying: degrade to the serial in-process path rather
+        # than failing a selection the serial scheduler would survive.
+        return _evaluate_chunk(
+            self.simulator, items, list(queue), list(waits), list(runtimes), profile
+        )

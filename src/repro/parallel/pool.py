@@ -1,0 +1,126 @@
+"""The shared worker pool: one persistent, spawn-safe process pool.
+
+Both layers of the parallel subsystem — intra-run portfolio evaluation
+(:mod:`repro.parallel.evaluator`) and cross-run campaign fan-out
+(:mod:`repro.parallel.campaign`) — draw workers from the single
+process-global pool managed here, so a campaign whose cells themselves
+evaluate portfolios never oversubscribes the machine with nested pools.
+
+Design points:
+
+* **Spawn context.**  Workers are started with the ``spawn`` method even
+  on platforms whose default is ``fork``: the simulator holds live numpy
+  RNGs, open benchmark fixtures, and (in tests) pytest state that must
+  not be inherited mid-flight.  A spawned worker imports :mod:`repro`
+  fresh and receives every task argument by pickle, which is exactly the
+  determinism contract the rest of this repository already relies on.
+* **Persistence.**  The pool is created lazily on first use, survives
+  across campaigns/selector invocations (amortising the interpreter
+  start-up cost), and is torn down from an ``atexit`` hook.
+* **Crash containment.**  A worker death poisons the underlying
+  :class:`~concurrent.futures.ProcessPoolExecutor`
+  (:class:`~concurrent.futures.process.BrokenProcessPool`); callers
+  invoke :func:`reset_pool` to discard the broken executor and respawn.
+  Completed futures keep their results, so only unfinished work is
+  re-submitted by the caller.
+* **Ctrl-C.**  Workers ignore ``SIGINT``; the main process owns
+  interrupt handling and cancels or abandons outstanding futures.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+from concurrent.futures import Future, ProcessPoolExecutor
+
+__all__ = ["WorkerPool", "get_pool", "reset_pool", "shutdown_pool", "cpu_workers"]
+
+
+def cpu_workers() -> int:
+    """A sensible default worker count: every core the host exposes."""
+    return os.cpu_count() or 1
+
+
+def _init_worker() -> None:  # pragma: no cover - runs in the child process
+    """Worker initialiser: leave SIGINT to the parent.
+
+    On Ctrl-C the terminal delivers SIGINT to the whole foreground
+    process group; ignoring it in workers lets the main process decide
+    (cancel, snapshot, re-raise) without workers dying mid-cell and
+    masquerading as crashes."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class WorkerPool:
+    """A lazily created, respawnable spawn-context process pool."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_init_worker,
+            )
+        return self._executor
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def reset(self) -> None:
+        """Discard the (typically broken) executor; the next submit respawns."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            # A broken executor's shutdown is instant; a healthy one is
+            # drained without waiting so reset never blocks on stuck work.
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+_pool: WorkerPool | None = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-global pool, grown (never shrunk) to *workers*.
+
+    Growing requires a respawn; both layers tolerate that because they
+    only hold a pool reference for the duration of one wave/campaign
+    batch and re-fetch it afterwards."""
+    global _pool
+    if _pool is None:
+        _pool = WorkerPool(workers)
+    elif _pool.workers < workers:
+        _pool.shutdown()
+        _pool = WorkerPool(workers)
+    return _pool
+
+
+def reset_pool() -> None:
+    """Respawn the global pool after a worker death poisoned it."""
+    if _pool is not None:
+        _pool.reset()
+
+
+def shutdown_pool() -> None:
+    """Tear the global pool down (atexit, and tests that want isolation)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+
+
+atexit.register(shutdown_pool)

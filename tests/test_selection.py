@@ -306,6 +306,70 @@ class TestQuarantine:
         assert sum(sel.set_sizes()) == 4
 
 
+class RecordingClock(VirtualCostClock):
+    """A virtual clock that logs every call the selector makes."""
+
+    def __init__(self, cost=0.01):
+        super().__init__(cost)
+        self.stamps = 0
+        self.measured: list[tuple[float, int]] = []
+
+    def stamp(self) -> float:
+        self.stamps += 1
+        return super().stamp()
+
+    def measure(self, wall_seconds, sim_events):
+        self.measured.append((wall_seconds, sim_events))
+        return super().measure(wall_seconds, sim_events)
+
+
+class TestBudgetAccounting:
+    """Satellite: pin the timing isolation and exact budget arithmetic."""
+
+    def test_exact_count_and_spend_with_virtual_clock(self):
+        # Δ = 0.2 s at 10 ms each over 60 policies: exactly 20 simulated
+        # (paper §6.5's K = 20), and the spend is exactly 20 costs.
+        sel, sim = make_selector(delta=0.2, cost=0.01)
+        out = select(sel)
+        assert out.n_simulated == 20
+        assert out.spent == pytest.approx(20 * 0.01)
+        assert out.budget == 0.2
+
+    def test_timing_brackets_only_the_evaluate_call(self):
+        # The charged wall time flows through CostClock.stamp() pairs taken
+        # strictly around simulator.evaluate: a virtual clock returns 0
+        # from stamp(), so measure() must see wall == 0.0 for every policy
+        # — the selector's own bookkeeping can never leak into c_i.
+        clock = RecordingClock(0.01)
+        sel = TimeConstrainedSelector(
+            build_portfolio(),
+            simulator=StubSimulator(),
+            time_constraint=0.2,
+            cost_clock=clock,
+            rng=np.random.default_rng(0),
+        )
+        out = select(sel)
+        assert clock.stamps == 2 * out.n_simulated  # one pair per evaluate
+        assert all(wall == 0.0 for wall, _ in clock.measured)
+        assert len(clock.measured) == out.n_simulated
+
+    def test_quarantined_policy_still_charged(self):
+        clock = RecordingClock(0.01)
+        sel = TimeConstrainedSelector(
+            build_portfolio()[:4],
+            simulator=FlakySimulator(lambda name: True),
+            time_constraint=10.0,
+            cost_clock=clock,
+            rng=np.random.default_rng(0),
+        )
+        out = select(sel)
+        assert out.n_quarantined == 4
+        # Crashing simulations burn budget too (wall up to the raise),
+        # with 0 steps since no outcome exists.
+        assert [steps for _, steps in clock.measured] == [0, 0, 0, 0]
+        assert out.spent == pytest.approx(4 * 0.01)
+
+
 class TestRealSimulatorIntegration:
     def test_selects_a_sensible_policy_for_a_burst(self):
         """With a real online simulator and a burst of short jobs, the
