@@ -9,6 +9,8 @@ Four subcommands cover the common workflows without writing Python:
 * ``repro figure`` — regenerate one of the paper's tables/figures,
 * ``repro campaign`` — run a figure grid as independent cells, optionally
   fanned out over worker processes and memoised in a disk cache,
+* ``repro trace-report`` — summarise a JSONL run trace written by
+  ``repro run --trace-out`` (policy timeline, Δ accounting, top spans),
 * ``repro policies`` — list the 60 portfolio members.
 
 Invoke as ``python -m repro ...``.
@@ -233,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for Algorithm 1's policy "
                           "simulations (portfolio runs only)")
 
+    obs = p_run.add_argument_group(
+        "observability",
+        "structured run tracing and span profiling; with both off "
+        "(default) the run is bit-identical to an uninstrumented build; "
+        "on --resume the snapshot's tracer/profiler are restored and "
+        "--trace-out/--profile are ignored",
+    )
+    obs.add_argument("--trace-out", metavar="PATH",
+                     help="write one JSONL record per scheduler round (policy "
+                     "scores, Δ accounting, Smart/Stale/Poor sets) plus VM "
+                     "lifecycle and billing settlements; inspect with "
+                     "'repro trace-report'")
+    obs.add_argument("--profile", action="store_true",
+                     help="time hot-path spans (kernel dispatch, Algorithm 1, "
+                     "parallel waves) and print the top spans after the run")
+    obs.add_argument("--prom-out", metavar="PATH",
+                     help="write the final result as Prometheus text-format "
+                     "metrics")
+
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("name", choices=_FIGURES)
 
@@ -259,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--export-json", metavar="PATH",
                         help="write the figure rows as JSON (identical for "
                         "serial and parallel runs)")
+
+    p_report = sub.add_parser(
+        "trace-report",
+        help="summarise a JSONL run trace written by 'repro run --trace-out'",
+    )
+    p_report.add_argument("trace", metavar="PATH", help="the trace file")
+    p_report.add_argument("--top-spans", type=_positive_int, default=5,
+                          metavar="N", help="profiled spans to show")
+    p_report.add_argument("--max-switches", type=_nonneg_int, default=40,
+                          metavar="N",
+                          help="policy-switch timeline rows to show")
+    p_report.add_argument("--width", type=_positive_int, default=60,
+                          metavar="CHARS", help="sparkline width")
 
     sub.add_parser("policies", help="list the 60 portfolio policies")
     return parser
@@ -366,10 +400,18 @@ def _build_engine(args: argparse.Namespace):
         from repro.audit import AuditConfig
 
         audit_kwargs["audit"] = AuditConfig(level=args.audit)
+    obs_kwargs: dict = {}
+    if args.trace_out:
+        from repro.obs import TraceConfig
+
+        obs_kwargs["trace"] = TraceConfig(path=args.trace_out)
+    if args.profile:
+        obs_kwargs["profile"] = True
     config = EngineConfig(
         provider=ProviderConfig(max_vms=args.max_vms),
         **_resilience_config(args),
         **audit_kwargs,
+        **obs_kwargs,
     )
     predictor = _predictor(args.predictor)
     if args.policy == "portfolio":
@@ -459,11 +501,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for violation in report.violations[:10]:
             print(f"violation [{violation.kind}] t={violation.time:.0f}: "
                   f"{violation.message}")
+    profile = getattr(result, "profile", None)
+    if profile and profile.get("spans"):
+        ranked = sorted(
+            profile["spans"].items(), key=lambda kv: -float(kv[1]["total"])
+        )[:5]
+        rows = [
+            {
+                "span": name,
+                "calls": int(s["count"]),
+                "total_s": round(float(s["total"]), 4),
+                "max_ms": round(float(s["max"]) * 1e3, 3),
+            }
+            for name, s in ranked
+        ]
+        print(format_table(rows, title=f"top {len(rows)} spans by total time"))
+    trace_summary = getattr(result, "trace", None)
+    if trace_summary is not None and trace_summary.get("path"):
+        print(
+            f"trace: {trace_summary['records']} records -> "
+            f"{trace_summary['path']} (inspect with 'repro trace-report')"
+        )
+    if args.prom_out:
+        from repro.obs import prometheus_text
+
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(result))
+        print(f"wrote {args.prom_out}")
     if args.export_json:
         from repro.experiments.export import dump_result_json
 
         dump_result_json(result, args.export_json)
         print(f"wrote {args.export_json}")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import TraceReadError, read_trace, render_trace_report
+
+    try:
+        trace = read_trace(args.trace)
+    except TraceReadError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        render_trace_report(
+            trace,
+            source=args.trace,
+            top_spans=args.top_spans,
+            max_switches=args.max_switches,
+            width=args.width,
+        )
+    )
     return 0
 
 
@@ -568,6 +657,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
+        "trace-report": _cmd_trace_report,
         "policies": _cmd_policies,
     }[args.command]
     return handler(args)

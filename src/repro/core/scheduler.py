@@ -17,7 +17,7 @@ import numpy as np
 from repro.cloud.profile import CloudProfile
 from repro.core.online_sim import OnlineSimulator
 from repro.core.reflection import ReflectionStore
-from repro.core.selection import TimeConstrainedSelector
+from repro.core.selection import SelectionOutcome, TimeConstrainedSelector
 from repro.core.utility import UtilityFunction
 from repro.policies.combined import CombinedPolicy, build_portfolio
 from repro.sim.clock import CostClock
@@ -184,6 +184,12 @@ class PortfolioScheduler(Scheduler):
         self._active: CombinedPolicy | None = None
         self._last_selection_tick: int | None = None
         self._by_name = {p.name: p for p in members}
+        # Telemetry hand-off to the engine's tracer: the outcome of the
+        # most recent Algorithm 1 invocation (and whether it tripped the
+        # failover cap), cleared when consumed.  Pure observation — the
+        # selection logic never reads these.
+        self._pending_outcome: SelectionOutcome | None = None
+        self._pending_failover = False
 
     @property
     def invocations(self) -> int:
@@ -194,6 +200,19 @@ class PortfolioScheduler(Scheduler):
     def quarantined(self) -> int:
         """Total policy evaluations quarantined across the run."""
         return self.selector.quarantined
+
+    def take_selection_telemetry(self) -> tuple[SelectionOutcome | None, bool]:
+        """Consume ``(outcome, failed_over_now)`` of the latest invocation.
+
+        Returns ``(None, False)`` on rounds where Algorithm 1 did not run
+        (the previous winner stayed applied).  Used by the engine's run
+        tracer; consuming is idempotent per invocation.
+        """
+        outcome = self._pending_outcome
+        failover = self._pending_failover
+        self._pending_outcome = None
+        self._pending_failover = False
+        return outcome, failover
 
     def active_policy(
         self,
@@ -212,10 +231,12 @@ class PortfolioScheduler(Scheduler):
         )
         if due and queue:
             outcome = self.selector.select(queue, waits, runtimes, profile)
+            self._pending_outcome = outcome
             if (
                 self.quarantine_limit is not None
                 and self.selector.consecutive_quarantines >= self.quarantine_limit
             ):
+                self._pending_failover = True
                 # Too many consecutive evaluation failures: the portfolio
                 # machinery itself is suspect.  Stop selecting and apply
                 # the designated safe fixed policy for the rest of the run.

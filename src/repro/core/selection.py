@@ -23,6 +23,7 @@ paper's deterministic 10 ms per policy for the §6.5 experiments.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -162,6 +163,14 @@ class TimeConstrainedSelector:
         #: Evaluations quarantined since the last *successful* evaluation;
         #: the scheduler's failover cap watches this.
         self.consecutive_quarantines = 0
+        #: Optional :class:`~repro.obs.profiler.Profiler`.  When set,
+        #: every online-simulation call is timed into the
+        #: ``selector.evaluate`` span (worker-side walls are merged into
+        #: ``selector.evaluate.worker`` under parallel evaluation) and
+        #: each Algorithm 1 invocation into ``selector.select``.  ``None``
+        #: (default) adds no clock reads: charged costs always come from
+        #: ``cost_clock``, never from the profiler.
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -185,11 +194,15 @@ class TimeConstrainedSelector:
         :meth:`CostClock.stamp`, so virtual clocks never touch the real
         clock at all.
         """
+        profiler = self.profiler
+        span_begin = _time.perf_counter() if profiler is not None else 0.0
         begin = self.cost_clock.stamp()
         try:
             outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
         except Exception:
             wall = self.cost_clock.stamp() - begin
+            if profiler is not None:
+                profiler.add("selector.evaluate", _time.perf_counter() - span_begin)
             self.quarantined += 1
             self.consecutive_quarantines += 1
             return PolicyScore(
@@ -200,6 +213,8 @@ class TimeConstrainedSelector:
                 quarantined=True,
             )
         wall = self.cost_clock.stamp() - begin
+        if profiler is not None:
+            profiler.add("selector.evaluate", _time.perf_counter() - span_begin)
         self.consecutive_quarantines = 0
         cost = self.cost_clock.measure(wall, outcome.steps)
         return PolicyScore(policy=policy, score=outcome.score, cost=cost, outcome=outcome)
@@ -221,6 +236,7 @@ class TimeConstrainedSelector:
         worker-seconds) and the score table is merged with a
         deterministic total order.
         """
+        select_begin = _time.perf_counter() if self.profiler is not None else 0.0
         delta = self.time_constraint
         d1, d2, d3 = split_budget(
             delta, len(self.smart), len(self.stale), len(self.poor)
@@ -250,6 +266,10 @@ class TimeConstrainedSelector:
 
         self.invocations += 1
         self.total_simulated += len(simulated)
+        if self.profiler is not None:
+            self.profiler.add(
+                "selector.select", _time.perf_counter() - select_begin
+            )
         return SelectionOutcome(
             best=best,
             simulated=tuple(simulated),
@@ -334,9 +354,20 @@ class TimeConstrainedSelector:
                 if not wave:
                     break
                 by_index = {index: policy for index, policy in wave}
+                wave_begin = (
+                    _time.perf_counter() if self.profiler is not None else 0.0
+                )
                 records = evaluator.evaluate_wave(
                     wave, queue, waits, runtimes, profile
                 )
+                if self.profiler is not None:
+                    # Parent-side elapsed wave time, plus the per-policy
+                    # walls measured inside the workers merged back in.
+                    self.profiler.add(
+                        "selector.wave", _time.perf_counter() - wave_begin
+                    )
+                    for rec in records:
+                        self.profiler.add("selector.evaluate.worker", rec.wall)
                 for rec in records:  # submission order, like the serial loop
                     policy = by_index[rec.index]
                     if rec.error is not None:

@@ -39,12 +39,34 @@ class RunState:
     @classmethod
     def capture(cls, engine: "ClusterEngine") -> "RunState":
         engine.checkpoint_wall()
+        # Flush the run tracer first so the pickled ``_flushed_bytes``
+        # marks exactly the trace prefix consistent with this snapshot
+        # (the tracer's ``__getstate__`` flushes too; doing it here keeps
+        # the invariant independent of pickling order).
+        if getattr(engine, "tracer", None) is not None:
+            engine.tracer.flush()
         return cls(engine=engine, seq=snapshot_seq())
 
     def restore(self) -> "ClusterEngine":
         """Reinstall global state and hand back the live engine."""
         restore_seq(self.seq)
         self.engine.rebase_wall()
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None:
+            # Drop trace records from the lost post-snapshot segment;
+            # the resumed run re-emits them bit-identically, so the final
+            # file has no duplicated round ids.
+            tracer.resume_truncate()
+            from repro.obs import records as trace_records
+
+            tracer.emit(
+                trace_records.RUN_START, self.engine.sim.now,
+                scheduler=self.engine.scheduler.describe(),
+                jobs=len(self.engine.jobs),
+                tick=self.engine.config.tick,
+                max_vms=self.engine.config.provider.max_vms,
+                resumed=True,
+            )
         return self.engine
 
 

@@ -32,6 +32,10 @@ from repro.cloud.provider import CloudProvider, ProviderConfig
 from repro.cloud.vm import VM, VMState
 from repro.core.scheduler import PortfolioScheduler, Scheduler
 from repro.metrics.collector import JobRecord, MetricsCollector, SummaryMetrics
+from repro.obs import records as trace_records
+from repro.obs.exporter import profile_to_dict, trace_to_dict
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import RunTracer, TraceConfig
 from repro.policies.base import IdleVM, SchedContext
 from repro.policies.combined import CombinedPolicy
 from repro.predict.base import RuntimePredictor
@@ -98,6 +102,16 @@ class EngineConfig:
     #: ``REPRO_AUDIT`` env var raises it); level ``off`` is bit-identical
     #: to an unaudited build.
     audit: "AuditConfig | None" = None
+    #: Structured run tracing (:mod:`repro.obs`): one JSONL record per
+    #: scheduler round (policy scores, Δ accounting, Smart/Stale/Poor
+    #: membership), plus VM lifecycle and billing settlements.  ``None``
+    #: (default) emits nothing and leaves every hot path on its seed
+    #: code path.
+    trace: "TraceConfig | None" = None
+    #: Lightweight span profiling of the hot paths (kernel dispatch,
+    #: Algorithm 1, parallel waves).  Wall-clock observation only — the
+    #: profiler never feeds back into simulated time or Δ accounting.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -146,6 +160,11 @@ class ExperimentResult:
     portfolio_failed_over: bool = False
     #: What the audit layer saw (``None`` when auditing was off).
     audit: "AuditReport | None" = None
+    #: Per-span profile summary (``None`` when profiling was off).
+    profile: "dict | None" = None
+    #: Trace summary — schema, destination, per-kind record counts
+    #: (``None`` when the run was untraced).
+    trace: "dict | None" = None
 
     @property
     def failed_jobs(self) -> int:
@@ -292,6 +311,23 @@ class ClusterEngine:
             self.sim.tracer = self.audit.on_event
             self.provider.on_charge = self.audit.on_vm_charge
 
+        # Observability (:mod:`repro.obs`): run tracing and span
+        # profiling.  Both hang off the engine so durability snapshots
+        # carry them across kill/resume; both are ``None`` when off,
+        # leaving every hot path on its seed code path.
+        self.tracer: RunTracer | None = (
+            RunTracer(self.config.trace) if self.config.trace is not None else None
+        )
+        self.profiler: Profiler | None = Profiler() if self.config.profile else None
+        if self.profiler is not None:
+            self.sim.profiler = self.profiler
+            if isinstance(scheduler, PortfolioScheduler):
+                scheduler.selector.profiler = self.profiler
+        if self.tracer is not None:
+            # Billing fan-out must stay a bound method (snapshots pickle
+            # the engine whole; a closure would break them).
+            self.provider.on_charge = self._dispatch_charge
+
     @staticmethod
     def _check_acyclic(dependencies: "dict[int, tuple[int, ...]]") -> None:
         """Kahn's algorithm over the dependency edges; cycles deadlock the
@@ -316,6 +352,77 @@ class ClusterEngine:
                     frontier.append(child)
         if visited != len(nodes):
             raise ValueError("dependency graph contains a cycle")
+
+    # -- observability -------------------------------------------------------
+
+    def _dispatch_charge(self, vm: VM, charge: float, end_time: float,
+                         kind: str) -> None:
+        """Billing fan-out: audit ledger first, then the trace record."""
+        if self.audit is not None:
+            self.audit.on_vm_charge(vm, charge, end_time, kind)
+        assert self.tracer is not None
+        self.tracer.emit(
+            trace_records.CHARGE, end_time, vm=vm.vm_id, seconds=charge,
+            settlement=kind, reserved=vm.reserved,
+        )
+
+    def _emit_round(self, now: float, ctx: SchedContext,
+                    policy: CombinedPolicy, round_id: int) -> None:
+        """One ``round`` record per scheduling round.
+
+        When this round re-ran Algorithm 1, the record carries the full
+        selection outcome (per-policy score and Δ cost, Smart/Stale/Poor
+        membership, Δ budget vs. spent); rounds that kept the previous
+        winner applied record only the fleet/queue state.
+        """
+        assert self.tracer is not None
+        record: dict[str, object] = {
+            "round": round_id,
+            "queue": len(self.queue),
+            "queued_procs": ctx.total_queued_procs(),
+            "fleet": self.provider.leased_count(),
+            "idle": len(self.provider.idle_vms()),
+            "booting": len(self.provider.booting_vms()),
+            "busy": ctx.busy,
+            "policy": policy.name,
+        }
+        outcome = None
+        failed_over_now = False
+        if isinstance(self.scheduler, PortfolioScheduler):
+            outcome, failed_over_now = self.scheduler.take_selection_telemetry()
+        if outcome is not None:
+            selector = self.scheduler.selector
+            record["selection"] = {
+                "budget": outcome.budget,
+                "spent": outcome.spent,
+                "n_simulated": len(outcome.simulated),
+                "n_quarantined": sum(
+                    1 for ps in outcome.simulated if ps.quarantined
+                ),
+                "sets": {
+                    "smart": [p.name for p in selector.smart],
+                    "stale": [p.name for p in selector.stale],
+                    "poor": [p.name for p in selector.poor],
+                },
+                "scores": [
+                    {
+                        "policy": ps.policy.name,
+                        "score": ps.score,
+                        "cost": ps.cost,
+                        "quarantined": ps.quarantined,
+                    }
+                    for ps in outcome.simulated
+                ],
+            }
+        self.tracer.emit(trace_records.ROUND, now, **record)
+        if failed_over_now:
+            self.tracer.emit(
+                trace_records.FAILOVER, now,
+                safe_policy=self.scheduler.safe_policy.name,
+                consecutive_quarantines=(
+                    self.scheduler.selector.consecutive_quarantines
+                ),
+            )
 
     # -- event handlers -----------------------------------------------------
 
@@ -388,6 +495,8 @@ class ClusterEngine:
                     active_policy=policy.name,
                 )
             )
+        if self.tracer is not None:
+            self._emit_round(now, ctx, policy, self._tick_index - 1)
 
         # Provisioning (one lease request, subject to injected faults).
         n_new = policy.new_vms(ctx)
@@ -434,6 +543,10 @@ class ClusterEngine:
         if not vm.alive:
             return
         vm.boot_complete(sim.now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.VM, sim.now, event="ready", vm=vm.vm_id,
+            )
         self._schedule_boundary(sim, vm)
         self._release_surplus(sim)
 
@@ -465,6 +578,11 @@ class ClusterEngine:
         the job, and terminate (and bill) the instance."""
         self.failures += 1
         now = sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.VM, now, event="fail", vm=vm.vm_id,
+                state=vm.state.name, job=vm.job_id,
+            )
         if vm.state is VMState.BOOTING:
             self.boot_failures += 1  # an instance that never became ready
         if vm.state is VMState.BUSY:
@@ -566,6 +684,11 @@ class ClusterEngine:
                 extra = inj.boot_delay_extra()
                 if extra > 0.0:
                     vm.ready_time += extra  # long-tailed boot
+            if self.tracer is not None:
+                self.tracer.emit(
+                    trace_records.VM, now, event="lease", vm=vm.vm_id,
+                    ready=vm.ready_time, reserved=vm.reserved,
+                )
             sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
             self._arm_faults(sim, vm)
         if retry is not None:
@@ -696,10 +819,22 @@ class ClusterEngine:
             raise RuntimeError("engine already started")
         self._started = True
         self._segment_began = time.perf_counter()
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.RUN_START, self.sim.now,
+                scheduler=self.scheduler.describe(), jobs=len(self.jobs),
+                tick=self.config.tick,
+                max_vms=self.config.provider.max_vms, resumed=False,
+            )
         if self.config.reserved_vms:
             for vm in self.provider.lease(
                 self.config.reserved_vms, now=0.0, reserved=True
             ):
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        trace_records.VM, 0.0, event="lease", vm=vm.vm_id,
+                        ready=vm.ready_time, reserved=True,
+                    )
                 self.sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
         for job in self.jobs:
             self.sim.schedule_at(job.submit_time, EventKind.JOB_ARRIVAL, job)
@@ -821,6 +956,33 @@ class ClusterEngine:
         wall = (
             self._wall_accum + time.perf_counter() - self._segment_began
         )
+        profile_summary = (
+            profile_to_dict(self.profiler) if self.profiler is not None else None
+        )
+        trace_summary = None
+        if self.tracer is not None:
+            from repro.core.utility import UtilityFunction
+
+            self.tracer.emit(
+                trace_records.RUN_END, end,
+                utility=UtilityFunction()(
+                    metrics.rj_seconds,
+                    metrics.rv_seconds,
+                    metrics.avg_bounded_slowdown,
+                ),
+                bsd=metrics.avg_bounded_slowdown,
+                rj_seconds=metrics.rj_seconds,
+                rv_seconds=metrics.rv_seconds,
+                unfinished=unfinished,
+                wall_seconds=wall,
+            )
+            if profile_summary is not None:
+                self.tracer.emit(
+                    trace_records.PROFILE, end,
+                    spans=profile_summary["spans"],
+                )
+            self.tracer.close()
+            trace_summary = trace_to_dict(self.tracer)
         return ExperimentResult(
             metrics=metrics,
             records=tuple(self.metrics.records),
@@ -837,6 +999,8 @@ class ClusterEngine:
             policies_quarantined=self.scheduler.quarantined if is_portfolio else 0,
             portfolio_failed_over=self.scheduler.failed_over if is_portfolio else False,
             audit=audit_report,
+            profile=profile_summary,
+            trace=trace_summary,
         )
 
     def run(self) -> ExperimentResult:

@@ -62,6 +62,16 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
     audit = getattr(result, "audit", None)
     if audit is not None:
         out["audit"] = audit.to_dict()
+    # Observability summaries ride along only when the subsystem was on,
+    # so an untraced, unprofiled export stays bit-identical to builds
+    # predating the obs layer (and to old unpickled results, which lack
+    # the fields entirely).
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        out["profile"] = profile
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        out["trace"] = trace
     if include_records:
         out["records"] = [
             {

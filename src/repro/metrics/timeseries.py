@@ -37,15 +37,41 @@ class TimeseriesRecorder:
     """Collects :class:`TimeseriesSample` rows; pass as engine observer."""
 
     samples: list[TimeseriesSample] = field(default_factory=list)
+    #: Per-attribute array cache: reports call ``peak_queue`` /
+    #: ``mean_idle_fraction`` repeatedly, and rebuilding an O(n) array per
+    #: accessor call made each of them O(n) every time.  Appending a
+    #: sample invalidates the cache wholesale.
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __call__(self, sample: TimeseriesSample) -> None:
         self.samples.append(sample)
+        self._series_cache().clear()
+
+    def _series_cache(self) -> dict:
+        # Recorders unpickled from snapshots written before the cache
+        # existed lack the slot; recreate it lazily.
+        try:
+            return self._cache
+        except AttributeError:  # pragma: no cover - old-snapshot path
+            self._cache = {}
+            return self._cache
 
     # -- accessors ----------------------------------------------------------
 
     def series(self, attr: str) -> np.ndarray:
-        """One attribute as an array, e.g. ``series("queue_length")``."""
-        return np.array([getattr(s, attr) for s in self.samples], dtype=float)
+        """One attribute as an array, e.g. ``series("queue_length")``.
+
+        Cached per attribute until the next append; treat the returned
+        array as read-only.
+        """
+        cache = self._series_cache()
+        cached = cache.get(attr)
+        if cached is None or len(cached) != len(self.samples):
+            cached = np.array(
+                [getattr(s, attr) for s in self.samples], dtype=float
+            )
+            cache[attr] = cached
+        return cached
 
     def times(self) -> np.ndarray:
         return self.series("time")
@@ -76,7 +102,14 @@ class TimeseriesRecorder:
 def sparkline(values: np.ndarray, width: int = 60) -> str:
     """Render *values* as a coarse ASCII sparkline of *width* characters.
 
-    Values are max-pooled into buckets so spikes stay visible.
+    Values are max-pooled into buckets so spikes stay visible, then
+    normalised min→max: a series living entirely at or below zero (a
+    delta series, a negative utility trace) still shows its shape
+    instead of rendering all-blank.  Non-finite samples are dropped from
+    pooling; a bucket with no finite sample at all renders as ``?`` so
+    gaps stay visible instead of propagating NaN through the scaling.
+    A constant series renders as a flat baseline of the lowest ink
+    glyph.
     """
     values = np.asarray(values, dtype=float)
     if values.size == 0:
@@ -84,12 +117,23 @@ def sparkline(values: np.ndarray, width: int = 60) -> str:
     if width < 1:
         raise ValueError(f"width must be >= 1, got {width}")
     buckets = np.array_split(values, min(width, values.size))
-    pooled = np.array([b.max() for b in buckets])
-    top = pooled.max()
-    if top <= 0:
-        return " " * len(pooled)
-    levels = np.minimum(
-        (pooled / top * (len(_SPARK_CHARS) - 1)).round().astype(int),
-        len(_SPARK_CHARS) - 1,
-    )
-    return "".join(_SPARK_CHARS[i] for i in levels)
+    pooled = np.array([
+        b[np.isfinite(b)].max() if np.isfinite(b).any() else np.nan
+        for b in buckets
+    ])
+    finite = np.isfinite(pooled)
+    if not finite.any():
+        return "?" * len(pooled)
+    lo = pooled[finite].min()
+    hi = pooled[finite].max()
+    span = hi - lo
+    chars = []
+    for value in pooled:
+        if not np.isfinite(value):
+            chars.append("?")
+        elif span <= 0:
+            chars.append(_SPARK_CHARS[1])  # flat series: visible baseline
+        else:
+            level = int(round((value - lo) / span * (len(_SPARK_CHARS) - 1)))
+            chars.append(_SPARK_CHARS[level])
+    return "".join(chars)

@@ -1,0 +1,143 @@
+"""Metrics export: JSON summaries and Prometheus text format.
+
+The JSON side feeds ``--export-json`` (keys appear only when the
+corresponding subsystem was on, so an untraced, unprofiled export stays
+bit-identical to an uninstrumented build).  The Prometheus side renders
+the classic text exposition format — ``# HELP`` / ``# TYPE`` preambles
+followed by ``name{labels} value`` samples — which any scrape pipeline
+or the repo's own ``tools/validate_prom.py`` can parse.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.obs.records import TRACE_SCHEMA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.engine import ExperimentResult
+    from repro.obs.profiler import Profiler
+    from repro.obs.tracer import RunTracer
+
+__all__ = ["profile_to_dict", "trace_to_dict", "prometheus_text"]
+
+
+def profile_to_dict(profiler: "Profiler") -> dict:
+    """JSON summary of a profiler: schema + per-span count/total/max."""
+    return {"spans": profiler.snapshot()}
+
+
+def trace_to_dict(tracer: "RunTracer") -> dict:
+    """JSON summary of a tracer: schema, destination, record counts."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "path": tracer.path,
+        "records": tracer.records_emitted,
+        "counts": dict(sorted(tracer.counts.items())),
+    }
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sample(name: str, value: float, labels: Mapping[str, str] | None = None) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value}"
+    return f"{name} {value}"
+
+
+def prometheus_text(
+    result: "ExperimentResult",
+    profiler: "Profiler | None" = None,
+    tracer: "RunTracer | None" = None,
+) -> str:
+    """Render a finished run as Prometheus text-format metrics."""
+    m = result.metrics
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, help_: str,
+               samples: list[str]) -> None:
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.extend(samples)
+
+    metric("repro_jobs_total", "gauge", "Jobs completed by the run.",
+           [_sample("repro_jobs_total", m.jobs)])
+    metric("repro_unfinished_jobs", "gauge", "Jobs not finished at run end.",
+           [_sample("repro_unfinished_jobs", result.unfinished_jobs)])
+    metric("repro_rj_seconds", "gauge",
+           "Total consumed CPU seconds (RJ).",
+           [_sample("repro_rj_seconds", m.rj_seconds)])
+    metric("repro_rv_seconds", "gauge",
+           "Total charged VM seconds (RV).",
+           [_sample("repro_rv_seconds", m.rv_seconds)])
+    metric("repro_avg_bounded_slowdown", "gauge",
+           "Average bounded slowdown (BSD).",
+           [_sample("repro_avg_bounded_slowdown", m.avg_bounded_slowdown)])
+    metric("repro_utility", "gauge",
+           "Paper utility U = kappa*(RJ/RV)^alpha*(1/BSD)^beta.",
+           [_sample("repro_utility", result.utility)])
+    metric("repro_sim_events_total", "counter",
+           "Simulation events processed.",
+           [_sample("repro_sim_events_total", result.sim_events)])
+    metric("repro_scheduler_rounds_total", "counter",
+           "Scheduling rounds (ticks with a non-empty queue).",
+           [_sample("repro_scheduler_rounds_total", result.ticks)])
+    metric("repro_portfolio_invocations_total", "counter",
+           "Algorithm 1 invocations.",
+           [_sample("repro_portfolio_invocations_total",
+                    result.portfolio_invocations)])
+    metric("repro_policies_quarantined_total", "counter",
+           "Policy evaluations quarantined by the fail-safe selector.",
+           [_sample("repro_policies_quarantined_total",
+                    result.policies_quarantined)])
+    metric("repro_wall_seconds", "gauge", "Wall-clock seconds of the run.",
+           [_sample("repro_wall_seconds", result.wall_seconds)])
+
+    # Span and trace sections: prefer live objects, fall back to the
+    # summaries the engine folded into the result — the CLI only holds a
+    # result (the engine may be gone entirely on a resumed-completed run).
+    spans: dict[str, dict] = {}
+    if profiler is not None:
+        spans = {
+            name: {"count": s.count, "total": s.total, "max": s.max}
+            for name, s in profiler.spans.items()
+        }
+    else:
+        profile_summary = getattr(result, "profile", None)
+        if isinstance(profile_summary, dict):
+            spans = dict(profile_summary.get("spans", {}))
+    if spans:
+        names = sorted(spans)
+        metric("repro_span_calls_total", "counter",
+               "Profiled span entries.",
+               [_sample("repro_span_calls_total",
+                        spans[n]["count"], {"span": n}) for n in names])
+        metric("repro_span_seconds_total", "counter",
+               "Cumulative seconds spent inside each profiled span.",
+               [_sample("repro_span_seconds_total",
+                        spans[n]["total"], {"span": n}) for n in names])
+        metric("repro_span_max_seconds", "gauge",
+               "Longest single entry of each profiled span.",
+               [_sample("repro_span_max_seconds",
+                        spans[n]["max"], {"span": n}) for n in names])
+
+    counts: dict[str, int] | None = None
+    if tracer is not None:
+        counts = dict(tracer.counts)
+    else:
+        trace_summary = getattr(result, "trace", None)
+        if isinstance(trace_summary, dict):
+            counts = dict(trace_summary.get("counts", {}))
+    if counts is not None:
+        metric("repro_trace_records_total", "counter",
+               "Trace records emitted, by record kind.",
+               [_sample("repro_trace_records_total", count, {"kind": kind})
+                for kind, count in sorted(counts.items())]
+               or [_sample("repro_trace_records_total", 0, {"kind": "none"})])
+
+    return "\n".join(lines) + "\n"

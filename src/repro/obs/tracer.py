@@ -1,0 +1,180 @@
+"""Structured run tracing: append-only JSONL with crash/resume safety.
+
+Write path
+----------
+:meth:`RunTracer.emit` serialises each record immediately (records must
+be JSON-safe at emit time, so a malformed record fails loudly at its
+source) and buffers the line; :meth:`RunTracer.flush` appends the
+buffered lines to the trace file with an ``fsync``.  The newest
+``ring_size`` records are also kept in a bounded in-memory ring buffer
+so in-process consumers (tests, the exporter) can inspect recent history
+without re-reading the file.
+
+Resume semantics
+----------------
+The tracer lives on the engine and is pickled inside durability
+snapshots.  The snapshot path flushes first, so the pickled
+``_flushed_bytes`` marks exactly the trace prefix consistent with the
+snapshot.  A killed run leaves extra records from the lost segment in
+the file; :meth:`RunTracer.resume_truncate` (called on restore) rewrites
+the file back to the snapshotted prefix through
+:func:`repro.durability.snapshot.atomic_write` — temp file + fsync +
+rename, so a crash *during* the truncation still leaves a parseable
+file.  Re-executed rounds then append fresh, giving a resumed run a
+trace whose round records match the uninterrupted run's, with no
+duplicated round ids.
+
+A crash between flushes can tear the final line; readers
+(:func:`repro.obs.report.read_trace`) tolerate and drop it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.durability.snapshot import atomic_write
+from repro.obs.records import TRACE_SCHEMA
+
+__all__ = ["TraceConfig", "RunTracer"]
+
+
+@dataclass(slots=True, frozen=True)
+class TraceConfig:
+    """Where and how a run is traced.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file; ``None`` keeps records only in the in-memory
+        ring buffer (no I/O at all).
+    ring_size:
+        How many of the newest records the in-memory ring retains.
+    flush_every:
+        Append buffered lines to the file every this many records (the
+        snapshot path and :meth:`RunTracer.close` flush regardless).
+    """
+
+    path: str | None = None
+    ring_size: int = 4096
+    flush_every: int = 256
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {self.ring_size}")
+        if self.flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {self.flush_every}")
+
+
+class RunTracer:
+    """Emits schema-versioned JSONL trace records (see module docstring)."""
+
+    def __init__(self, config: TraceConfig | None = None) -> None:
+        self.config = config or TraceConfig()
+        self.ring: deque[dict] = deque(maxlen=self.config.ring_size)
+        self.records_emitted = 0
+        self.counts: dict[str, int] = {}
+        self._seq = 0
+        self._pending: list[bytes] = []
+        #: Bytes of the trace file covered by completed flushes — the
+        #: resume-consistent prefix a snapshot certifies.
+        self._flushed_bytes = 0
+
+    @property
+    def path(self) -> str | None:
+        return self.config.path
+
+    # -- emitting ------------------------------------------------------------
+
+    def emit(self, kind: str, time: float, **fields: object) -> dict:
+        """Record one event; returns the record dict (for tests)."""
+        record = {"v": TRACE_SCHEMA, "seq": self._seq, "kind": kind,
+                  "t": float(time), **fields}
+        self._seq += 1
+        self.records_emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.ring.append(record)
+        if self.config.path is not None:
+            # Serialise now: a non-JSON-safe field fails at its source,
+            # not at some distant flush.
+            self._pending.append(json.dumps(record).encode("utf-8") + b"\n")
+            if len(self._pending) >= self.config.flush_every:
+                self.flush()
+        return record
+
+    # -- persistence ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append buffered records to the trace file and ``fsync`` it."""
+        if not self._pending or self.config.path is None:
+            self._pending.clear()
+            return
+        data = b"".join(self._pending)
+        path = Path(self.config.path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._flushed_bytes += len(data)
+        self._pending.clear()
+
+    def close(self) -> None:
+        """Final flush (idempotent)."""
+        self.flush()
+
+    def resume_truncate(self) -> None:
+        """Rewind the trace file to the snapshot-consistent prefix.
+
+        Called when a durability snapshot is restored: everything beyond
+        ``_flushed_bytes`` belongs to the lost post-snapshot segment and
+        will be re-emitted by the resumed run.  The rewrite goes through
+        the snapshot layer's atomic temp-file + fsync + rename path, so
+        a crash mid-truncation never tears the file.
+        """
+        self._pending.clear()
+        if self.config.path is None:
+            return
+        path = Path(self.config.path)
+        if not path.is_file():
+            # Trace file vanished between runs: start over cleanly.
+            self._flushed_bytes = 0
+            return
+        data = path.read_bytes()
+        if len(data) <= self._flushed_bytes:
+            # Nothing beyond the snapshot prefix (or the file is shorter
+            # than expected, e.g. manually truncated): keep what exists.
+            self._flushed_bytes = min(self._flushed_bytes, len(data))
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(path, data[: self._flushed_bytes])
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The snapshot path flushes before pickling; flushing here too
+        # makes the invariant (pickled state covers only flushed bytes)
+        # hold for any pickler.
+        self.flush()
+        return {
+            "config": self.config,
+            "ring": self.ring,
+            "records_emitted": self.records_emitted,
+            "counts": self.counts,
+            "_seq": self._seq,
+            "_flushed_bytes": self._flushed_bytes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.config = state["config"]
+        self.ring = state["ring"]
+        self.records_emitted = state["records_emitted"]
+        self.counts = state["counts"]
+        self._seq = state["_seq"]
+        self._flushed_bytes = state["_flushed_bytes"]
+        self._pending = []

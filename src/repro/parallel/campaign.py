@@ -211,6 +211,12 @@ class Campaign:
     progress:
         Optional callback ``(done, total, outcome)`` streamed as cells
         complete (parallel: completion order; serial: cell order).
+    profiler:
+        Optional :class:`~repro.obs.profiler.Profiler`: each computed
+        cell's engine wall time is merged back into the parent as a
+        ``campaign.cell`` span (workers measure their own wall; the
+        parent aggregates), and disk-cache hits count under
+        ``campaign.cell.cached``.  ``None`` (default) records nothing.
     """
 
     def __init__(
@@ -221,6 +227,7 @@ class Campaign:
         retries: int = 2,
         fresh_pool: bool = False,
         progress: "Callable[[int, int, CellOutcome], None] | None" = None,
+        profiler: "object | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -234,6 +241,7 @@ class Campaign:
         self.retries = int(retries)
         self.fresh_pool = bool(fresh_pool)
         self.progress = progress
+        self.profiler = profiler
 
     # -- execution ----------------------------------------------------------
 
@@ -255,6 +263,8 @@ class Campaign:
                 result, scheduler = payload
                 outcomes[i] = CellOutcome(self.cells[i], result, scheduler, "cache")
                 done += 1
+                if self.profiler is not None:
+                    self.profiler.add("campaign.cell.cached", 0.0)
                 self._report(done, outcomes[i])
             else:
                 pending.append(i)
@@ -274,9 +284,16 @@ class Campaign:
         if self.cell_cache is not None:
             self.cell_cache.put(key, (result, scheduler))
 
+    def _observe_cell(self, result) -> None:
+        """Merge one computed cell's worker-side wall time into the
+        parent profiler (the worker measured it; the parent aggregates)."""
+        if self.profiler is not None:
+            self.profiler.add("campaign.cell", float(result.wall_seconds))
+
     def _run_serial(self, effective, keys, pending, outcomes, done) -> int:
         for i in pending:
             result, scheduler = _run_cell(effective[i])
+            self._observe_cell(result)
             self._store(keys[i], result, scheduler)
             outcomes[i] = CellOutcome(self.cells[i], result, scheduler, "ran")
             done += 1
@@ -299,6 +316,7 @@ class Campaign:
                         for future in finished:
                             i = futures[future]
                             result, scheduler = future.result()
+                            self._observe_cell(result)
                             self._store(keys[i], result, scheduler)
                             outcomes[i] = CellOutcome(
                                 self.cells[i], result, scheduler, "ran"

@@ -9,6 +9,7 @@ further events; time never flows backwards.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Iterator
 
 from repro.sim.events import Event, EventKind
@@ -124,6 +125,11 @@ class Simulator:
         #: The audit layer installs its invariant monitor here; ``None``
         #: (the default) costs one attribute check per event.
         self.tracer: Handler | None = None
+        #: Optional :class:`~repro.obs.profiler.Profiler`: when set,
+        #: :meth:`step` times each handler dispatch into a per-event-kind
+        #: span (``kernel.dispatch.<KIND>``).  ``None`` (the default)
+        #: costs one attribute check per event and never reads a clock.
+        self.profiler: Any | None = None
 
     def on(self, kind: EventKind, handler: Handler) -> None:
         """Register *handler* for events of *kind* (one handler per kind)."""
@@ -168,7 +174,15 @@ class Simulator:
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise RuntimeError(f"no handler registered for event kind {event.kind!r}")
-        handler(self, event)
+        if self.profiler is None:
+            handler(self, event)
+        else:
+            begin = time.perf_counter()
+            handler(self, event)
+            self.profiler.add(
+                f"kernel.dispatch.{event.kind.name}",
+                time.perf_counter() - begin,
+            )
         self.events_processed += 1
         return event
 

@@ -48,6 +48,86 @@ class TestRecorder:
             rec(sample(0.0, policy=name))
         assert rec.policy_switches() == 2
 
+    def test_series_cached_until_append(self):
+        # Regression: series() rebuilt an O(n) array on every accessor
+        # call; it must now return the same cached array until the next
+        # append invalidates it — with identical values throughout.
+        rec = TimeseriesRecorder()
+        for t in range(4):
+            rec(sample(float(t), q=t))
+        first = rec.series("queue_length")
+        assert rec.series("queue_length") is first  # cache hit
+        uncached = np.array(
+            [s.queue_length for s in rec.samples], dtype=float
+        )
+        np.testing.assert_array_equal(first, uncached)
+        rec(sample(4.0, q=9))  # append invalidates
+        second = rec.series("queue_length")
+        assert second is not first
+        assert second.tolist() == [0.0, 1.0, 2.0, 3.0, 9.0]
+        # Other attributes cache independently and stay consistent.
+        assert rec.series("time") is rec.series("time")
+        assert rec.peak_queue() == 9
+
+    def test_hand_built_sequence_with_empty_fleet_ticks(self):
+        # Hand-computed ground truth including fleet == 0 ticks, which
+        # must be excluded from the idle-fraction mean (0/0 is not
+        # "fully busy") without disturbing switch counting.
+        rec = TimeseriesRecorder()
+        rec(sample(0.0, fleet=0, idle=0, policy="A"))   # pre-provisioning
+        rec(sample(1.0, fleet=4, idle=1, policy="A"))   # 0.25
+        rec(sample(2.0, fleet=0, idle=0, policy="B"))   # outage; switch
+        rec(sample(3.0, fleet=2, idle=2, policy="B"))   # 1.0
+        rec(sample(4.0, fleet=8, idle=2, policy="A"))   # 0.25; switch
+        assert rec.policy_switches() == 2
+        assert rec.mean_idle_fraction() == pytest.approx((0.25 + 1.0 + 0.25) / 3)
+        assert rec.peak_fleet() == 8
+        assert rec.peak_queue() == 1
+
+    def test_all_ticks_fleetless(self):
+        rec = TimeseriesRecorder()
+        rec(sample(0.0, fleet=0, idle=0))
+        rec(sample(1.0, fleet=0, idle=0))
+        assert rec.mean_idle_fraction() == 0.0
+
+    def test_metrics_identical_across_resume_boundary(self):
+        # A durability snapshot pickles the recorder mid-run; the resumed
+        # recorder must keep appending and report exactly what an
+        # uninterrupted recorder reports (cache state must not leak into
+        # equality or pickle).
+        import pickle
+
+        head = [
+            sample(0.0, q=2, fleet=0, idle=0, policy="A"),
+            sample(1.0, q=1, fleet=4, idle=2, policy="A"),
+            sample(2.0, q=1, fleet=4, idle=0, policy="B"),
+        ]
+        tail = [
+            sample(3.0, q=0, fleet=0, idle=0, policy="B"),
+            sample(4.0, q=3, fleet=6, idle=3, policy="A"),
+        ]
+        whole = TimeseriesRecorder()
+        for s in head + tail:
+            whole(s)
+
+        interrupted = TimeseriesRecorder()
+        for s in head:
+            interrupted(s)
+        interrupted.series("fleet")  # warm the cache pre-snapshot
+        resumed = pickle.loads(pickle.dumps(interrupted))
+        for s in tail:
+            resumed(s)
+
+        assert resumed.policy_switches() == whole.policy_switches() == 2
+        assert resumed.mean_idle_fraction() == pytest.approx(
+            whole.mean_idle_fraction()
+        )
+        assert resumed.peak_queue() == whole.peak_queue() == 3
+        assert resumed.peak_fleet() == whole.peak_fleet() == 6
+        np.testing.assert_array_equal(
+            resumed.series("idle"), whole.series("idle")
+        )
+
 
 class TestSparkline:
     def test_width_and_monotone_levels(self):
@@ -58,8 +138,42 @@ class TestSparkline:
     def test_empty(self):
         assert sparkline(np.array([])) == ""
 
-    def test_all_zero(self):
-        assert sparkline(np.zeros(10), width=5).strip() == ""
+    def test_all_zero_renders_visible_baseline(self):
+        # Regression: scaling by max() alone rendered any series living
+        # at or below zero as all-blank, hiding the trace entirely.
+        assert sparkline(np.zeros(10), width=5) == "....."
+
+    def test_negative_series_shows_shape(self):
+        # Regression: a delta series (all values <= 0) must still show
+        # its min→max shape, not render blank.
+        line = sparkline(np.array([-10.0, -5.0, -1.0]), width=3)
+        assert line[0] == " " and line[-1] == "@"
+        assert line == "".join(sorted(line))  # monotone levels
+
+    def test_constant_nonzero_series_is_flat_baseline(self):
+        assert sparkline(np.full(6, 42.0), width=3) == "..."
+
+    def test_nan_samples_dropped_from_pooling(self):
+        # Regression: NaN propagated through bucket max() and poisoned
+        # the global scaling, blanking every bucket.  A NaN sharing a
+        # bucket with finite samples must simply be ignored.
+        values = np.array([0.0, np.nan, 1.0, 2.0, np.nan, 10.0])
+        line = sparkline(values, width=3)
+        assert "?" not in line
+        assert line[-1] == "@"
+
+    def test_all_nan_bucket_renders_gap(self):
+        values = np.array([0.0, 0.0, np.nan, np.nan, 4.0, 4.0])
+        line = sparkline(values, width=3)
+        assert line == " ?@"
+
+    def test_all_nan_series(self):
+        assert sparkline(np.array([np.nan, np.nan]), width=2) == "??"
+
+    def test_infinity_dropped_like_nan(self):
+        line = sparkline(np.array([0.0, np.inf, 1.0, 2.0]), width=2)
+        assert "?" not in line
+        assert line[-1] == "@"
 
     def test_width_validation(self):
         with pytest.raises(ValueError):

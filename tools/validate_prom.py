@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition file.
+
+Checks the subset of the format the exporter emits:
+
+* every sample line parses as ``name{labels} value`` (labels optional),
+  with a legal metric name and a float value;
+* every sample's metric family is preceded by ``# HELP`` and ``# TYPE``
+  lines, and the TYPE is one of the known kinds;
+* no duplicate ``(name, labels)`` sample.
+
+Usage: ``python tools/validate_prom.py FILE [FILE...]`` — exits 0 when
+every file validates, 1 otherwise.  CI runs it on the observability
+smoke job's ``--prom-out``; it is importable for tests.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE = re.compile(
+    rf"^(?P<name>{_NAME})(?:\{{(?P<labels>[^}}]*)\}})?\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(rf'^(?P<key>{_NAME})="(?P<value>(?:[^"\\]|\\.)*)"$')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def validate_text(text: str) -> list[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: list[str] = []
+    helped: set[str] = set()
+    typed: set[str] = set()
+    seen: set[tuple[str, str]] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in _TYPES:
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        for pair in filter(None, labels.split(",")):
+            if _LABEL.match(pair) is None:
+                problems.append(f"line {lineno}: bad label {pair!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            )
+            continue
+        if math.isnan(value):
+            problems.append(f"line {lineno}: NaN sample for {name}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+        if base not in helped:
+            problems.append(f"line {lineno}: sample {name} has no # HELP")
+        if base not in typed:
+            problems.append(f"line {lineno}: sample {name} has no # TYPE")
+        key = (name, labels)
+        if key in seen:
+            problems.append(f"line {lineno}: duplicate sample {name}{{{labels}}}")
+        seen.add(key)
+    if not seen:
+        problems.append("no samples found")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: validate_prom.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_text(text)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            samples = sum(
+                1 for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: OK ({samples} samples)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
