@@ -1,0 +1,53 @@
+"""Environment-fault injection for the platform itself.
+
+The simulator already models faults *inside* the simulated cloud (VM
+crashes, outages, lease rejections — :mod:`repro.resilience`).  This
+package injects faults into the layer that runs the simulation: the
+snapshot store's writes, the tracer's flushes, the cell cache's puts,
+and the worker pool's processes.  A seeded :class:`FaultPlan` replays a
+hostile host — full disks, torn renames, flipped bytes, SIGKILLed and
+SIGSTOPped workers — bit-identically, so recovery behaviour is testable
+instead of anecdotal.
+
+Layering: :mod:`repro.chaos.hooks` is dependency-free and is what the
+platform imports; :mod:`repro.chaos.plan` implements the injector; the
+soak harness (:mod:`repro.chaos.soak`) sits *above* the platform and is
+imported lazily by the CLI — importing :mod:`repro.chaos` itself never
+drags the engine in.
+
+With no injector installed every fault point is a no-op global read:
+all chaos knobs off is bit-identical to a build without this package.
+"""
+
+from repro.chaos.hooks import (
+    ChaosFault,
+    TornRename,
+    active,
+    fault_point,
+    install,
+    task_action,
+    uninstall,
+)
+from repro.chaos.plan import (
+    ACTIONS,
+    ChaosInjector,
+    FaultPlan,
+    FaultRule,
+    chaos_active,
+)
+
+__all__ = [
+    "ChaosFault",
+    "TornRename",
+    "Injector",
+    "install",
+    "uninstall",
+    "active",
+    "fault_point",
+    "task_action",
+    "ACTIONS",
+    "FaultRule",
+    "FaultPlan",
+    "ChaosInjector",
+    "chaos_active",
+]

@@ -1,0 +1,106 @@
+"""Process-global chaos fault points (the platform's injection seams).
+
+The platform's own write paths — snapshot :func:`atomic_write`, tracer
+flushes, cell-cache puts — and the worker-pool submission path each call
+into this module at well-known *sites*.  With no injector installed
+(the default, and the only state production code ever ships in) every
+call is a no-op costing one global read, so the hardened paths stay
+bit-identical to an uninstrumented build.
+
+``repro chaos`` and the chaos tests install a
+:class:`~repro.chaos.plan.ChaosInjector` here; the fault points then
+raise deterministic environment faults (``ENOSPC``/``EIO``), tear
+renames (leaving genuine ``.tmp`` debris behind), flip bytes in files
+that were just written, and tell freshly submitted pool tasks to SIGKILL
+or SIGSTOP their worker.
+
+This module deliberately imports nothing from the rest of the package:
+the durability, observability, and parallel layers all call into it, and
+the injector implementation (:mod:`repro.chaos.plan`) plugs in from the
+other side.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import Protocol
+
+__all__ = [
+    "ChaosFault",
+    "TornRename",
+    "Injector",
+    "install",
+    "uninstall",
+    "active",
+    "fault_point",
+    "task_action",
+]
+
+
+class ChaosFault(OSError):
+    """An injected environment fault (subclasses ``OSError`` so the
+    degrade-don't-die paths treat it exactly like the real thing)."""
+
+    def __init__(self, err: int, site: str) -> None:
+        super().__init__(err, f"{os.strerror(err)} [chaos@{site}]")
+        self.site = site
+
+
+class TornRename(ChaosFault):
+    """A crash injected between the temp-file write and its rename.
+
+    :func:`repro.durability.snapshot.atomic_write` recognises this fault
+    and leaves its ``.tmp`` file on disk — the same debris a genuine
+    mid-rename crash leaves — before letting the error propagate.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(errno.EIO, site)
+
+
+class Injector(Protocol):  # pragma: no cover - typing only
+    def fault_point(self, site: str, path: "os.PathLike | str | None") -> None: ...
+
+    def task_action(self, site: str) -> str | None: ...
+
+
+_injector: Injector | None = None
+
+
+def install(injector: Injector) -> Injector | None:
+    """Install *injector* process-wide; returns the one it displaced."""
+    global _injector
+    previous = _injector
+    _injector = injector
+    return previous
+
+
+def uninstall() -> None:
+    """Remove any installed injector (fault points become no-ops again)."""
+    global _injector
+    _injector = None
+
+
+def active() -> Injector | None:
+    return _injector
+
+
+def fault_point(site: str, path: "os.PathLike | str | None" = None) -> None:
+    """Give the installed injector (if any) a chance to fault at *site*.
+
+    May raise :class:`ChaosFault` (``ENOSPC``/``EIO``) or
+    :class:`TornRename`; a ``corrupt`` rule instead flips a byte of the
+    file at *path* and returns normally.
+    """
+    if _injector is not None:
+        _injector.fault_point(site, path)
+
+
+def task_action(site: str) -> str | None:
+    """What, if anything, the next submitted pool task should do to its
+    worker: ``None`` (nothing), ``"kill"`` (SIGKILL itself) or ``"stop"``
+    (SIGSTOP itself — a hang, not a death)."""
+    if _injector is None:
+        return None
+    return _injector.task_action(site)

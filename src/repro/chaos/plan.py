@@ -1,0 +1,269 @@
+"""Deterministic, schedule-driven environment-fault plans.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultRule`
+entries.  Each rule names an injection *site* (glob pattern over the
+fault points the platform exposes), an *action*, and a firing schedule
+expressed in operation counts — "the 2nd tracer flush", "every 3rd
+snapshot rename after the first" — so a plan replays bit-identically on
+any host.  The seed drives only the *content* of a fault (which byte of
+a corrupted file flips, which value a probabilistic rule draws), never
+whether the schedule fires.
+
+Sites currently exposed by the platform (see the callers):
+
+========================== ==================================================
+``snapshot.payload.*``      snapshot payload ``atomic_write`` (``.write``
+                            before any I/O, ``.rename`` between temp write
+                            and rename, ``.written`` after success)
+``snapshot.meta.*``         per-generation sidecar manifest writes
+``snapshot.manifest.*``     the top-level ``MANIFEST.json`` write
+``tracer.flush``            each :meth:`RunTracer.flush` append
+``cellcache.*``             cell-cache entry ``atomic_write``
+``pool.task``               each task submitted to the worker pool
+========================== ==================================================
+
+Actions: ``enospc`` / ``eio`` raise the matching :class:`ChaosFault`;
+``torn`` raises :class:`TornRename` (only meaningful at ``*.rename``
+points, where it leaves real ``.tmp`` debris); ``corrupt`` flips one
+seeded byte of the file at the fault point's path; ``kill`` / ``stop``
+make the next submitted pool task SIGKILL / SIGSTOP its own worker
+process (a death vs. a *hang* — the watchdog's prey).
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.hooks import ChaosFault, TornRename, install, uninstall
+
+__all__ = ["FaultRule", "FaultPlan", "ChaosInjector", "chaos_active", "ACTIONS"]
+
+ACTIONS = ("enospc", "eio", "torn", "corrupt", "kill", "stop")
+
+_ERRNO = {"enospc": errno.ENOSPC, "eio": errno.EIO}
+
+
+@dataclass(slots=True, frozen=True)
+class FaultRule:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    site:
+        Glob pattern over fault-point sites (``"tracer.flush"``,
+        ``"snapshot.*.rename"``, ...).
+    action:
+        One of :data:`ACTIONS`.
+    nth:
+        Fire on the nth matching operation (1-based).
+    every:
+        After the first firing, fire again every this many matching
+        operations; ``None`` means the rule fires at ``nth`` only.
+    limit:
+        Total firing budget (``None`` = unlimited).
+    p:
+        Optional probability gate: even when the schedule matches, the
+        rule fires only with probability *p* (drawn from the plan's
+        seeded stream, so the whole run still replays deterministically).
+    """
+
+    site: str
+    action: str
+    nth: int = 1
+    every: int | None = None
+    limit: int | None = 1
+    p: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"action must be one of {ACTIONS}, got {self.action!r}")
+        if self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+        if self.p is not None and not 0.0 < self.p <= 1.0:
+            raise ValueError(f"p must lie in (0, 1], got {self.p}")
+
+    def due(self, count: int) -> bool:
+        """Does the schedule match the *count*-th operation (1-based)?"""
+        if count < self.nth:
+            return False
+        if count == self.nth:
+            return True
+        if self.every is None:
+            return False
+        return (count - self.nth) % self.every == 0
+
+    def to_dict(self) -> dict:
+        out: dict = {"site": self.site, "action": self.action, "nth": self.nth}
+        if self.every is not None:
+            out["every"] = self.every
+        out["limit"] = self.limit
+        if self.p is not None:
+            out["p"] = self.p
+        return out
+
+
+@dataclass(slots=True, frozen=True)
+class FaultPlan:
+    """A seed plus an ordered rule list; the unit ``repro chaos`` loads."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def injector(self) -> "ChaosInjector":
+        return ChaosInjector(self)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        def opt(r: dict, key: str, cast, default):
+            value = r.get(key, default)
+            return None if value is None else cast(value)
+
+        try:
+            rules = tuple(
+                FaultRule(
+                    site=str(r["site"]),
+                    action=str(r["action"]),
+                    nth=int(r.get("nth", 1)),
+                    every=opt(r, "every", int, None),
+                    limit=opt(r, "limit", int, 1),
+                    p=opt(r, "p", float, None),
+                )
+                for r in raw.get("rules", ())
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed fault plan: {exc}") from exc
+        return cls(rules=rules, seed=int(raw.get("seed", 0)))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "FaultPlan":
+        """Parse a JSON plan file."""
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable fault plan {path}: {exc}") from exc
+        return cls.from_dict(raw)
+
+
+@dataclass(slots=True)
+class _RuleState:
+    rule: FaultRule
+    fired: int = 0
+
+    def spent(self) -> bool:
+        return self.rule.limit is not None and self.fired >= self.rule.limit
+
+
+class ChaosInjector:
+    """Live counters for one plan; install via :func:`chaos_active` or
+    :meth:`install` / :meth:`uninstall` around a run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(np.random.SeedSequence([plan.seed, 0xC4A05]))
+        self._states = [_RuleState(rule) for rule in plan.rules]
+        self._counts: dict[str, int] = {}
+        #: Every fault actually delivered, for reports and tests:
+        #: ``(site, action, operation count at the site)``.
+        self.injected: list[tuple[str, str, int]] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _visit(self, site: str) -> list[tuple[_RuleState, int]]:
+        """Bump per-rule counters for one operation at *site*; return the
+        rules whose schedule fires, with their matched counts."""
+        due: list[tuple[_RuleState, int]] = []
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for state in self._states:
+            if state.spent() or not fnmatch.fnmatchcase(site, state.rule.site):
+                continue
+            if not state.rule.due(count):
+                continue
+            if state.rule.p is not None and self.rng.random() >= state.rule.p:
+                continue
+            due.append((state, count))
+        return due
+
+    def _fire(self, state: _RuleState, site: str, count: int) -> None:
+        state.fired += 1
+        self.injected.append((site, state.rule.action, count))
+
+    # -- the Injector protocol ----------------------------------------------
+
+    def fault_point(self, site: str, path: "os.PathLike | str | None") -> None:
+        for state, count in self._visit(site):
+            action = state.rule.action
+            if action in ("kill", "stop"):
+                continue  # only meaningful through task_action()
+            if action == "corrupt":
+                if path is not None and self._corrupt(path):
+                    self._fire(state, site, count)
+                continue
+            self._fire(state, site, count)
+            if action == "torn":
+                raise TornRename(site)
+            raise ChaosFault(_ERRNO[action], site)
+
+    def task_action(self, site: str) -> str | None:
+        for state, count in self._visit(site):
+            if state.rule.action not in ("kill", "stop"):
+                continue
+            self._fire(state, site, count)
+            return state.rule.action
+        return None
+
+    # -- fault content -------------------------------------------------------
+
+    def _corrupt(self, path: "os.PathLike | str") -> bool:
+        """Flip one seeded byte of the file at *path* (False if absent/empty)."""
+        target = Path(path)
+        try:
+            data = bytearray(target.read_bytes())
+        except OSError:
+            return False
+        if not data:
+            return False
+        index = int(self.rng.integers(0, len(data)))
+        data[index] ^= 0xFF
+        try:
+            target.write_bytes(bytes(data))
+        except OSError:  # pragma: no cover - the disk is genuinely sick
+            return False
+        return True
+
+    # -- installation --------------------------------------------------------
+
+    def install(self) -> "ChaosInjector":
+        install(self)
+        return self
+
+    def uninstall(self) -> None:
+        uninstall()
+
+    def __enter__(self) -> "ChaosInjector":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+
+def chaos_active(plan: FaultPlan) -> ChaosInjector:
+    """Context manager: ``with chaos_active(plan) as injector: ...``."""
+    return plan.injector()

@@ -11,6 +11,11 @@ Four subcommands cover the common workflows without writing Python:
   fanned out over worker processes and memoised in a disk cache,
 * ``repro trace-report`` — summarise a JSONL run trace written by
   ``repro run --trace-out`` (policy timeline, Δ accounting, top spans),
+* ``repro chaos`` — turn environment faults against the platform itself:
+  ``chaos run`` replays a trace with a seeded fault plan injected into
+  the snapshot/tracer/cache/pool write paths, ``chaos soak`` loops
+  kill → corrupt → resume cycles under strict audit and diffs the final
+  export against an unfaulted reference,
 * ``repro policies`` — list the 60 portfolio members.
 
 Invoke as ``python -m repro ...``.
@@ -234,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--workers", type=_nonneg_int, default=0, metavar="N",
                           help="worker processes for Algorithm 1's policy "
                           "simulations (portfolio runs only)")
+    parallel.add_argument("--worker-deadline", type=_positive_float,
+                          metavar="SECONDS",
+                          help="watchdog: SIGKILL and respawn the wave's "
+                          "workers if one evaluation wave exceeds this many "
+                          "wall-clock seconds (default: wait forever)")
 
     obs = p_run.add_argument_group(
         "observability",
@@ -280,6 +290,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--export-json", metavar="PATH",
                         help="write the figure rows as JSON (identical for "
                         "serial and parallel runs)")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject environment faults into the platform itself "
+        "(snapshot writes, tracer flushes, cache puts, pool workers)",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def chaos_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", choices=sorted(_TRACES), default="KTH-SP2")
+        p.add_argument("--hours", type=_positive_float, default=2.0)
+        p.add_argument("--seed", type=int, default=42,
+                       help="trace seed (not the fault seed)")
+        p.add_argument("--policy", default="portfolio",
+                       help="'portfolio' (default) or a fixed policy name")
+        p.add_argument("--plan", metavar="PATH",
+                       help="JSON fault plan ({'seed': ..., 'rules': "
+                       "[{'site': ..., 'action': ..., 'nth': ...}, ...]})")
+        p.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                       help="override the plan's fault-content seed")
+        p.add_argument("--export-json", metavar="PATH",
+                       help="write the chaos report as JSON")
+
+    p_crun = chaos_sub.add_parser(
+        "run",
+        help="replay a trace (strictly audited, durable if --snapshot-dir "
+        "is given) with the fault plan installed; reports every fault "
+        "delivered",
+    )
+    chaos_common(p_crun)
+    p_crun.add_argument("--snapshot-dir", metavar="DIR",
+                        help="run durably, snapshotting into DIR")
+    p_crun.add_argument("--snapshot-every-events", type=_positive_int,
+                        default=2000, metavar="N",
+                        help="snapshot cadence for --snapshot-dir")
+
+    p_soak = chaos_sub.add_parser(
+        "soak",
+        help="loop kill -> corrupt-newest-snapshot -> resume cycles under "
+        "strict audit; exit 0 only if the final export matches an "
+        "unfaulted reference run",
+    )
+    chaos_common(p_soak)
+    p_soak.add_argument("--cycles", type=_positive_int, default=3,
+                        help="interrupt/corrupt/resume rounds")
+    p_soak.add_argument("--every-events", type=_positive_int, default=500,
+                        metavar="N", help="snapshot cadence during the soak")
+    p_soak.add_argument("--dir", metavar="DIR",
+                        help="snapshot directory (default: a temporary one)")
 
     p_report = sub.add_parser(
         "trace-report",
@@ -422,6 +481,7 @@ def _build_engine(args: argparse.Namespace):
                 quarantine_limit=args.quarantine_limit,
                 safe_policy=args.safe_policy,
                 workers=args.workers,
+                worker_deadline=args.worker_deadline,
             )
         except KeyError as exc:
             raise SystemExit2(exc.args[0], 2) from exc
@@ -470,6 +530,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 128 + exc.signum
 
+    recovery = getattr(runner, "recovery", None) if runner is not None else None
+    if recovery is not None and recovery.fallback:
+        print(
+            f"recovery: newest snapshot was unusable; fell back to "
+            f"generation {recovery.recovered_sequence} "
+            f"({recovery.recovered}) after "
+            f"{len(recovery.errors)} failed attempt(s)",
+            file=sys.stderr,
+        )
     is_portfolio = result.scheduler_desc.startswith("portfolio(")
     extra = {}
     if is_portfolio:
@@ -644,6 +713,120 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace):
+    """The FaultPlan for a chaos subcommand (empty plan if no --plan)."""
+    import dataclasses
+
+    from repro.chaos import FaultPlan
+
+    try:
+        plan = FaultPlan.load(args.plan) if args.plan else FaultPlan()
+    except ValueError as exc:
+        raise SystemExit2(str(exc), 2) from exc
+    if args.chaos_seed is not None:
+        plan = dataclasses.replace(plan, seed=args.chaos_seed)
+    return plan
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    # The soak harness imports the engine stack; keep `import repro.chaos`
+    # cheap by loading it only here.
+    from repro.chaos import soak as soak_mod
+    from repro.durability import DurableRunner, SnapshotConfig
+
+    try:
+        plan = _chaos_plan(args)
+    except SystemExit2 as exc:
+        print(str(exc), file=sys.stderr)
+        return exc.code
+
+    if args.chaos_command == "soak":
+        spec = soak_mod.SoakSpec(
+            model=args.model,
+            hours=args.hours,
+            seed=args.seed,
+            policy=args.policy,
+            cycles=args.cycles,
+            every_events=args.every_events,
+            chaos_seed=args.chaos_seed or 0,
+            plan=plan if plan.rules else None,
+        )
+        report = soak_mod.run_soak(spec, args.dir)
+        row = {
+            "cycles": report.cycles,
+            "corruptions": report.corruptions,
+            "fallbacks": report.fallbacks,
+            "plan faults": len(report.injected),
+            "export identical": report.identical,
+            "ok": report.ok,
+        }
+        print(format_table([row], title="chaos soak"))
+        if args.export_json:
+            with open(args.export_json, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.export_json}")
+        if not report.ok:
+            print("soak FAILED: faulted run diverged from the unfaulted "
+                  "reference", file=sys.stderr)
+            return 1
+        return 0
+
+    # chaos run: one strictly audited run with the plan installed.
+    spec = soak_mod.SoakSpec(
+        model=args.model, hours=args.hours, seed=args.seed, policy=args.policy
+    )
+    engine = soak_mod.build_engine(spec)
+    injector = plan.injector()
+    try:
+        with injector:
+            if args.snapshot_dir:
+                runner = DurableRunner(
+                    engine,
+                    SnapshotConfig(
+                        args.snapshot_dir,
+                        interval_seconds=None,
+                        every_events=args.snapshot_every_events,
+                    ),
+                )
+                result = runner.run()
+            else:
+                result = engine.run()
+    except OSError as exc:
+        # An injected (or genuine) environment fault escaped a
+        # non-degradable path, e.g. a snapshot write.
+        print(f"run failed under environment fault: {exc}", file=sys.stderr)
+        return 1
+    m = result.metrics
+    print(format_table(
+        [{
+            "scheduler": result.scheduler_desc,
+            "jobs": m.jobs,
+            "BSD": round(m.avg_bounded_slowdown, 3),
+            "utility": round(result.utility, 3),
+            "faults injected": len(injector.injected),
+        }],
+        title="chaos run",
+    ))
+    for site, action, count in injector.injected:
+        print(f"  fault: {action} @ {site} (operation #{count})")
+    if args.export_json:
+        from repro.experiments.export import result_to_dict
+
+        payload = {
+            "plan": plan.to_dict(),
+            "injected": [list(entry) for entry in injector.injected],
+            "result": result_to_dict(result),
+        }
+        with open(args.export_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.export_json}")
+    return 0
+
+
 def _cmd_policies(_: argparse.Namespace) -> int:
     for policy in build_portfolio():
         print(policy.name)
@@ -658,6 +841,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
         "trace-report": _cmd_trace_report,
+        "chaos": _cmd_chaos,
         "policies": _cmd_policies,
     }[args.command]
     return handler(args)

@@ -113,6 +113,12 @@ class PortfolioScheduler(Scheduler):
         0 (default) is the serial path, bit-identical to previous
         releases.  With workers > 0, Δ is charged in aggregate
         worker-seconds (see docs/ARCHITECTURE.md).
+    worker_deadline:
+        Watchdog for parallel evaluation: wall-clock seconds one wave of
+        policy evaluations may take before its workers are presumed hung
+        and SIGKILLed (the wave is retried, then degrades to serial).
+        ``None`` (default) waits indefinitely.  Ignored when
+        ``workers == 0``.
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class PortfolioScheduler(Scheduler):
         quarantine_limit: int | None = None,
         safe_policy: CombinedPolicy | str | None = None,
         workers: int = 0,
+        worker_deadline: float | None = None,
     ) -> None:
         if not 0.0 <= reflection_weight <= 1.0:
             raise ValueError(
@@ -158,7 +165,9 @@ class PortfolioScheduler(Scheduler):
             # Imported lazily: repro.parallel imports this module.
             from repro.parallel.evaluator import ParallelPortfolioEvaluator
 
-            evaluator = ParallelPortfolioEvaluator(self.simulator, self.workers)
+            evaluator = ParallelPortfolioEvaluator(
+                self.simulator, self.workers, wave_deadline=worker_deadline
+            )
         self.selector = TimeConstrainedSelector(
             members,
             simulator=self.simulator,

@@ -21,6 +21,7 @@ from repro.durability.runner import DurableRunner, RunInterrupted
 from repro.durability.snapshot import (
     MANIFEST_NAME,
     SNAPSHOT_FORMAT,
+    RecoveryReport,
     SnapshotConfig,
     SnapshotError,
     SnapshotInfo,
@@ -31,6 +32,7 @@ from repro.durability.state import CompletedRun, RunState
 __all__ = [
     "DurableRunner",
     "RunInterrupted",
+    "RecoveryReport",
     "SnapshotConfig",
     "SnapshotError",
     "SnapshotInfo",

@@ -17,11 +17,17 @@ already-finished run re-reports the stored result instead of failing.
 
 from __future__ import annotations
 
+import dataclasses
 import signal
 import time
 from typing import TYPE_CHECKING, Callable
 
-from repro.durability.snapshot import SnapshotConfig, SnapshotInfo, SnapshotStore
+from repro.durability.snapshot import (
+    RecoveryReport,
+    SnapshotConfig,
+    SnapshotInfo,
+    SnapshotStore,
+)
 from repro.durability.state import CompletedRun, RunState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,9 +70,16 @@ class DurableRunner:
         self.engine = engine
         self.config = config
         self.store = SnapshotStore(config)
+        # Startup sweep: a crash mid-``atomic_write`` leaves ``.tmp``
+        # debris behind; clear it before this run adds its own files.
+        self.store.sweep_debris()
         self.on_snapshot = on_snapshot
         self.snapshots_written = 0
         self.resumed_from: SnapshotInfo | None = None
+        #: How :meth:`resume` found its snapshot (``None`` for fresh runs);
+        #: folded into the result export when recovery had to fall back
+        #: past a corrupted generation.
+        self.recovery: RecoveryReport | None = None
         self._completed_result: "ExperimentResult | None" = None
         self._sequence = 1
         self._stop_signum: int | None = None
@@ -94,6 +107,7 @@ class DurableRunner:
             runner.on_snapshot = on_snapshot
             runner.snapshots_written = 0
             runner.resumed_from = info
+            runner.recovery = store.last_recovery
             runner._completed_result = state.result
             runner._sequence = info.sequence + 1
             runner._stop_signum = None
@@ -108,6 +122,7 @@ class DurableRunner:
         engine = state.restore()
         runner = cls(engine, config, on_snapshot)
         runner.resumed_from = info
+        runner.recovery = store.last_recovery
         runner._sequence = info.sequence + 1
         runner._last_snap_events = engine.sim.events_processed
         return runner
@@ -124,7 +139,7 @@ class DurableRunner:
             On SIGINT/SIGTERM, after writing a clean resumable snapshot.
         """
         if self._completed_result is not None:
-            return self._completed_result
+            return self._attach_recovery(self._completed_result)
         engine = self.engine
         if not engine._started:
             engine.start()
@@ -150,12 +165,25 @@ class DurableRunner:
             completed=True,
         )
         self._completed_result = result
-        return result
+        return self._attach_recovery(result)
 
     def request_stop(self, signum: int = signal.SIGINT) -> None:
         """Ask the run loop to snapshot and stop (what the signal handler
         does; public for tests and embedding)."""
         self._stop_signum = int(signum)
+
+    def _attach_recovery(self, result: "ExperimentResult") -> "ExperimentResult":
+        """Fold a *fallback* recovery into the result (and its export).
+
+        A clean resume attaches nothing, keeping resumed exports
+        bit-identical to uninterrupted ones; only a resume that had to
+        skip corrupted generations is recorded.
+        """
+        if self.recovery is None or not self.recovery.fallback:
+            return result
+        if getattr(result, "recovery", None) is not None:
+            return result  # already carries an (older) recovery report
+        return dataclasses.replace(result, recovery=self.recovery.to_dict())
 
     # -- internals ----------------------------------------------------------
 

@@ -1,20 +1,43 @@
-"""Atomic, integrity-checked snapshot storage.
+"""Atomic, integrity-checked, multi-generation snapshot storage.
 
 The write protocol makes a crash at *any* instant recoverable:
 
 1. pickle the state object to bytes and hash it (SHA-256);
 2. write the payload to ``<name>.tmp``, ``fsync`` it, and rename it to
    its final name (atomic on POSIX);
-3. write a small JSON manifest — sequence number, payload file name,
-   checksum, simulation clock, event count — the same way: temp file,
-   ``fsync``, rename over ``MANIFEST.json``;
-4. best-effort ``fsync`` the directory so both renames are durable.
+3. write a per-generation sidecar manifest (``snap-<seq>.meta.json`` —
+   sequence number, payload file name, checksum, simulation clock, event
+   count) the same way, so every retained generation stays independently
+   verifiable;
+4. write the top-level ``MANIFEST.json`` pointing at the new generation,
+   again via temp file + ``fsync`` + rename;
+5. prune generations outside the keep window, sweep orphaned ``.tmp``
+   debris, and best-effort ``fsync`` the directory.
 
 Because the manifest is replaced only *after* its payload is safely on
 disk, the manifest always points at a complete, verifiable snapshot: a
 kill mid-write leaves at worst an orphaned ``.tmp`` file and the previous
-snapshot intact.  :func:`load_latest` re-hashes the payload before
-unpickling and refuses anything that does not match.
+generations intact.
+
+Recovery ladder
+---------------
+:meth:`SnapshotStore.load_latest` re-hashes the payload before
+unpickling.  When the newest generation fails — corrupt manifest,
+missing or checksum-failing payload, torn pickle — it does **not** give
+up: it walks the retained generations newest-first (their sidecar
+manifests carry the checksums) and restores the newest one that
+verifies, recording what happened in a structured
+:class:`RecoveryReport` (surfaced through the runner into the result
+export).  Only when *every* retained generation fails does it raise a
+:class:`SnapshotError` listing everything it tried.
+
+Environment faults
+------------------
+:func:`atomic_write` exposes chaos fault points (``<site>.write`` /
+``<site>.rename`` / ``<site>.written`` — see :mod:`repro.chaos`) so the
+chaos layer can inject ``ENOSPC``, torn renames (real ``.tmp`` debris),
+and byte-level corruption exactly where a hostile host would.  With no
+injector installed the points are no-op global reads.
 """
 
 from __future__ import annotations
@@ -28,11 +51,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.chaos.hooks import TornRename, fault_point
+
 __all__ = [
     "SnapshotConfig",
     "SnapshotError",
     "SnapshotInfo",
     "SnapshotStore",
+    "RecoveryReport",
     "MANIFEST_NAME",
     "SNAPSHOT_FORMAT",
     "atomic_write",
@@ -66,7 +92,8 @@ class SnapshotConfig:
         job want.  ``None`` disables the event-count trigger.
     keep:
         How many verified snapshots to retain (≥ 1); older payloads are
-        pruned after each successful write.
+        pruned after each successful write.  With ``keep >= 2`` the
+        recovery ladder can fall back past a corrupted newest generation.
     """
 
     directory: str | Path
@@ -107,6 +134,37 @@ class SnapshotInfo:
         return self.payload
 
 
+@dataclass(slots=True, frozen=True)
+class RecoveryReport:
+    """What :meth:`SnapshotStore.load_latest` had to do to find a
+    loadable snapshot.
+
+    ``fallback`` is True when the generation the manifest pointed at (or
+    the manifest itself) was unusable and an older retained generation
+    was restored instead.  ``tried`` lists every payload examined in
+    order; ``errors`` carries one description per *failed* attempt.
+    """
+
+    requested: str | None  # what the manifest pointed at (None: unreadable)
+    recovered: str  # payload actually restored
+    recovered_sequence: int
+    fallback: bool
+    tried: tuple[str, ...]
+    errors: tuple[str, ...]
+    swept_tmp: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "recovered": self.recovered,
+            "recovered_sequence": self.recovered_sequence,
+            "fallback": self.fallback,
+            "tried": list(self.tried),
+            "errors": list(self.errors),
+            "swept_tmp": self.swept_tmp,
+        }
+
+
 def _fsync_file(path: Path) -> None:
     fd = os.open(path, os.O_RDONLY)
     try:
@@ -128,12 +186,18 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def atomic_write(path: Path, data: bytes) -> None:
+def atomic_write(path: Path, data: bytes, site: str = "fs") -> None:
     """Write *data* to *path* via temp file + fsync + rename.
 
     A crash at any instant leaves either the previous file or the new one,
     never a torn write (plus, at worst, an orphaned ``.tmp``).  Shared with
-    the parallel subsystem's cell cache."""
+    the parallel subsystem's cell cache and the tracer's resume rewrite.
+
+    *site* names the chaos fault points this write exposes
+    (``<site>.write`` / ``<site>.rename`` / ``<site>.written``); an
+    injected :class:`~repro.chaos.hooks.TornRename` leaves the temp file
+    behind — the same debris a real mid-rename crash leaves."""
+    fault_point(f"{site}.write", path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
@@ -143,11 +207,17 @@ def atomic_write(path: Path, data: bytes) -> None:
             fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
+        fault_point(f"{site}.rename", path)
         os.replace(tmp, path)
+    except TornRename:
+        # An injected crash between write and rename: the .tmp survives,
+        # exactly like a real kill at this instant would leave it.
+        raise
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
     _fsync_dir(path.parent)
+    fault_point(f"{site}.written", path)
 
 
 class SnapshotStore:
@@ -156,6 +226,10 @@ class SnapshotStore:
     def __init__(self, config: SnapshotConfig) -> None:
         self.config = config
         self.directory = config.path
+        #: What the last :meth:`load_latest` had to do (None before any
+        #: load); the durable runner folds it into the result export when
+        #: recovery had to fall back.
+        self.last_recovery: RecoveryReport | None = None
 
     # -- writing ------------------------------------------------------------
 
@@ -172,7 +246,7 @@ class SnapshotStore:
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest()
         name = f"snap-{sequence:08d}.pkl"
-        atomic_write(self.directory / name, payload)
+        atomic_write(self.directory / name, payload, site="snapshot.payload")
         info = SnapshotInfo(
             sequence=sequence,
             payload=name,
@@ -181,7 +255,19 @@ class SnapshotStore:
             events_processed=int(events_processed),
             completed=bool(completed),
         )
-        manifest = {
+        manifest = self._manifest_dict(info)
+        body = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        # Sidecar first: the generation must be independently verifiable
+        # before the top-level manifest ever points at it.
+        atomic_write(self._meta_path(sequence), body, site="snapshot.meta")
+        atomic_write(self.directory / MANIFEST_NAME, body, site="snapshot.manifest")
+        self._prune(current=info.sequence, keep_payload=info.payload)
+        self.sweep_debris()
+        return info
+
+    @staticmethod
+    def _manifest_dict(info: SnapshotInfo) -> dict:
+        return {
             "format": SNAPSHOT_FORMAT,
             "sequence": info.sequence,
             "payload": info.payload,
@@ -190,23 +276,61 @@ class SnapshotStore:
             "events_processed": info.events_processed,
             "completed": info.completed,
         }
-        atomic_write(
-            self.directory / MANIFEST_NAME,
-            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
-        )
-        self._prune(current=info.sequence)
-        return info
 
-    def _prune(self, current: int) -> None:
-        """Drop payloads older than the newest ``keep`` snapshots."""
+    def _meta_path(self, sequence: int) -> Path:
+        return self.directory / f"snap-{sequence:08d}.meta.json"
+
+    @staticmethod
+    def _sequence_of(path: Path) -> int | None:
+        """Parse the sequence number out of ``snap-<seq>.*`` names."""
+        stem = path.name.split(".", 1)[0]
+        try:
+            return int(stem.split("-", 1)[1])
+        except (IndexError, ValueError):  # foreign file
+            return None
+
+    def _prune(self, current: int, keep_payload: str | None = None) -> None:
+        """Drop generations outside the keep window ending at *current*.
+
+        Deletes payloads *and* their sidecar manifests whose sequence is
+        older than the newest ``keep`` generations — or **newer** than
+        *current*, which only happens when sequence numbering restarted
+        (a fresh run reusing the directory): those high-numbered leftovers
+        are stale state from a previous run and must never win a
+        newest-first recovery scan.  The payload the current manifest
+        points at (*keep_payload*) is never deleted, whatever its number.
+        """
         cutoff = current - self.config.keep + 1
-        for path in self.directory.glob("snap-*.pkl"):
-            try:
-                seq = int(path.stem.split("-", 1)[1])
-            except (IndexError, ValueError):  # pragma: no cover - foreign file
+        for path in list(self.directory.glob("snap-*.pkl")) + list(
+            self.directory.glob("snap-*.meta.json")
+        ):
+            seq = self._sequence_of(path)
+            if seq is None:  # pragma: no cover - foreign file
                 continue
-            if seq < cutoff:
+            if keep_payload is not None and path.name in (
+                keep_payload,
+                self._meta_path_name(keep_payload),
+            ):
+                continue
+            if seq < cutoff or seq > current:
                 path.unlink(missing_ok=True)
+
+    @staticmethod
+    def _meta_path_name(payload: str) -> str:
+        return payload.removesuffix(".pkl") + ".meta.json"
+
+    def sweep_debris(self) -> int:
+        """Delete orphaned ``*.tmp`` files (mid-``atomic_write`` crash
+        leftovers); returns how many were removed.  Run on every write
+        and at resume startup."""
+        swept = 0
+        for path in self.directory.glob("*.tmp"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - raced or permission
+                pass
+        return swept
 
     # -- reading ------------------------------------------------------------
 
@@ -215,6 +339,9 @@ class SnapshotStore:
         path = self.directory / MANIFEST_NAME
         if not path.is_file():
             raise SnapshotError(f"no snapshot manifest at {path}")
+        return self._parse_manifest(path)
+
+    def _parse_manifest(self, path: Path) -> SnapshotInfo:
         try:
             raw = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -236,9 +363,8 @@ class SnapshotStore:
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(f"malformed snapshot manifest {path}: {exc}") from exc
 
-    def load_latest(self) -> tuple[Any, SnapshotInfo]:
-        """Load, verify, and unpickle the snapshot the manifest points at."""
-        info = self.manifest()
+    def _verify(self, info: SnapshotInfo) -> Any:
+        """Checksum and unpickle the generation *info* describes."""
         path = self.directory / info.payload
         if not path.is_file():
             raise SnapshotError(f"snapshot payload {path} is missing")
@@ -247,10 +373,95 @@ class SnapshotStore:
         if digest != info.sha256:
             raise SnapshotError(
                 f"snapshot payload {path} fails its checksum "
-                f"(expected {info.sha256}, got {digest}); refusing to resume"
+                f"(expected {info.sha256}, got {digest})"
             )
         try:
-            state = pickle.loads(payload)
+            return pickle.loads(payload)
         except Exception as exc:
-            raise SnapshotError(f"snapshot payload {path} failed to unpickle: {exc}") from exc
-        return state, info
+            raise SnapshotError(
+                f"snapshot payload {path} failed to unpickle: {exc}"
+            ) from exc
+
+    def generations(self) -> list[SnapshotInfo]:
+        """Every retained generation with a parseable sidecar manifest,
+        newest (highest sequence) first.  Unparseable sidecars are
+        skipped — the recovery ladder treats them as failed candidates."""
+        infos: list[SnapshotInfo] = []
+        for path in self.directory.glob("snap-*.meta.json"):
+            try:
+                infos.append(self._parse_manifest(path))
+            except SnapshotError:
+                continue
+        infos.sort(key=lambda info: info.sequence, reverse=True)
+        return infos
+
+    def load_latest(self) -> tuple[Any, SnapshotInfo]:
+        """Load, verify, and unpickle the newest loadable snapshot.
+
+        Prefers the generation the manifest points at; on corruption
+        falls back generation-by-generation (newest first) through the
+        retained sidecar manifests.  Sets :attr:`last_recovery` on
+        success; raises :class:`SnapshotError` listing every failed
+        attempt when nothing survives.
+        """
+        if not self.directory.is_dir():
+            raise SnapshotError(
+                f"no snapshot manifest at {self.directory / MANIFEST_NAME}"
+            )
+        swept = self.sweep_debris()
+        tried: list[str] = []
+        errors: list[str] = []
+        requested: str | None = None
+        primary: SnapshotInfo | None = None
+        try:
+            primary = self.manifest()
+            requested = primary.payload
+        except SnapshotError as exc:
+            errors.append(str(exc))
+        if primary is not None:
+            tried.append(primary.payload)
+            try:
+                state = self._verify(primary)
+            except SnapshotError as exc:
+                errors.append(str(exc))
+            else:
+                self.last_recovery = RecoveryReport(
+                    requested=requested,
+                    recovered=primary.payload,
+                    recovered_sequence=primary.sequence,
+                    fallback=False,
+                    tried=tuple(tried),
+                    errors=(),
+                    swept_tmp=swept,
+                )
+                return state, primary
+        # The newest generation is unusable: walk the retained sidecar
+        # manifests newest-first for the freshest one that still verifies.
+        for info in self.generations():
+            if info.payload in tried:
+                continue
+            tried.append(info.payload)
+            try:
+                state = self._verify(info)
+            except SnapshotError as exc:
+                errors.append(str(exc))
+                continue
+            self.last_recovery = RecoveryReport(
+                requested=requested,
+                recovered=info.payload,
+                recovered_sequence=info.sequence,
+                fallback=True,
+                tried=tuple(tried),
+                errors=tuple(errors),
+                swept_tmp=swept,
+            )
+            return state, info
+        if not tried and not errors:
+            raise SnapshotError(
+                f"no snapshot manifest at {self.directory / MANIFEST_NAME}"
+            )
+        detail = "; ".join(errors) if errors else "no verifiable generation"
+        raise SnapshotError(
+            f"no loadable snapshot generation in {self.directory} "
+            f"(tried {tried or 'nothing'}): {detail}"
+        )

@@ -165,6 +165,11 @@ class ExperimentResult:
     #: Trace summary — schema, destination, per-kind record counts
     #: (``None`` when the run was untraced).
     trace: "dict | None" = None
+    #: Snapshot recovery report (:class:`repro.durability.RecoveryReport`
+    #: as a dict), attached by the durable runner only when ``--resume``
+    #: had to fall back past a corrupted snapshot generation; ``None``
+    #: for fresh runs and clean resumes, keeping their exports identical.
+    recovery: "dict | None" = None
 
     @property
     def failed_jobs(self) -> int:

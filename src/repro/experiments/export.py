@@ -72,6 +72,11 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
     trace = getattr(result, "trace", None)
     if trace is not None:
         out["trace"] = trace
+    # A resume that fell back past a corrupted snapshot generation
+    # records how; clean resumes and fresh runs export no such key.
+    recovery = getattr(result, "recovery", None)
+    if recovery is not None:
+        out["recovery"] = recovery
     if include_records:
         out["records"] = [
             {

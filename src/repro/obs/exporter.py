@@ -29,12 +29,17 @@ def profile_to_dict(profiler: "Profiler") -> dict:
 
 def trace_to_dict(tracer: "RunTracer") -> dict:
     """JSON summary of a tracer: schema, destination, record counts."""
-    return {
+    out = {
         "schema": TRACE_SCHEMA,
         "path": tracer.path,
         "records": tracer.records_emitted,
         "counts": dict(sorted(tracer.counts.items())),
     }
+    # Flagged only when flush I/O degraded the tracer mid-run, so a
+    # healthy run's export is byte-identical to pre-degrade builds.
+    if getattr(tracer, "degraded", False):
+        out["degraded"] = True
+    return out
 
 
 def _escape_label(value: str) -> str:

@@ -26,20 +26,44 @@ duplicated round ids.
 
 A crash between flushes can tear the final line; readers
 (:func:`repro.obs.report.read_trace`) tolerate and drop it.
+
+Degrade-don't-die I/O
+---------------------
+Tracing is observability, not the product: an ``ENOSPC`` during a flush
+must not kill a multi-day simulation.  By default a failed flush is
+retried a few times with decorrelated-jitter backoff (reusing
+:class:`repro.resilience.RetryPolicy`); if the disk stays sick the
+tracer *degrades* — it stops writing, keeps the in-memory ring and
+counters, warns exactly once, and flags ``degraded`` in the run's trace
+summary (and therefore the JSON export).  ``TraceConfig(strict_io=True)``
+restores the old raise-on-failure behaviour for users who prefer a dead
+run over a partial trace.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
+from repro.chaos.hooks import fault_point
 from repro.durability.snapshot import atomic_write
 from repro.obs.records import TRACE_SCHEMA
+from repro.resilience.retry import RetryPolicy
 
-__all__ = ["TraceConfig", "RunTracer"]
+__all__ = ["TraceConfig", "RunTracer", "TRACE_IO_RETRY"]
+
+#: Backoff applied between flush retries: decorrelated jitter, but with
+#: sub-second delays — the tracer blocks the whole run while retrying.
+TRACE_IO_RETRY = RetryPolicy(
+    base_delay=0.05, max_delay=0.5, multiplier=3.0, max_attempts=8
+)
 
 
 @dataclass(slots=True, frozen=True)
@@ -56,17 +80,31 @@ class TraceConfig:
     flush_every:
         Append buffered lines to the file every this many records (the
         snapshot path and :meth:`RunTracer.close` flush regardless).
+    io_retries:
+        How many times a failed flush is retried (with backoff) before
+        the tracer degrades to disabled; 0 degrades on the first failure.
+    strict_io:
+        ``True`` preserves the historical behaviour: a flush ``OSError``
+        propagates and kills the run instead of degrading tracing.
     """
 
     path: str | None = None
     ring_size: int = 4096
     flush_every: int = 256
+    io_retries: int = 3
+    strict_io: bool = False
 
     def __post_init__(self) -> None:
         if self.ring_size < 1:
             raise ValueError(f"ring_size must be >= 1, got {self.ring_size}")
         if self.flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {self.flush_every}")
+        if self.io_retries < 0:
+            raise ValueError(f"io_retries must be >= 0, got {self.io_retries}")
+
+
+class _Degraded(Exception):
+    """Internal control flow: the tracer just switched itself off."""
 
 
 class RunTracer:
@@ -77,6 +115,9 @@ class RunTracer:
         self.ring: deque[dict] = deque(maxlen=self.config.ring_size)
         self.records_emitted = 0
         self.counts: dict[str, int] = {}
+        #: ``True`` once flush I/O failed past its retry budget: the file
+        #: is abandoned but the ring/counters keep working.
+        self.degraded = False
         self._seq = 0
         self._pending: list[bytes] = []
         #: Bytes of the trace file covered by completed flushes — the
@@ -97,7 +138,7 @@ class RunTracer:
         self.records_emitted += 1
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.ring.append(record)
-        if self.config.path is not None:
+        if self.config.path is not None and not self.degraded:
             # Serialise now: a non-JSON-safe field fails at its source,
             # not at some distant flush.
             self._pending.append(json.dumps(record).encode("utf-8") + b"\n")
@@ -108,12 +149,28 @@ class RunTracer:
     # -- persistence ---------------------------------------------------------
 
     def flush(self) -> None:
-        """Append buffered records to the trace file and ``fsync`` it."""
-        if not self._pending or self.config.path is None:
+        """Append buffered records to the trace file and ``fsync`` it.
+
+        On ``OSError`` the write is retried ``config.io_retries`` times
+        with :data:`TRACE_IO_RETRY` backoff; exhausting the budget
+        degrades the tracer (unless ``config.strict_io``, which re-raises
+        the final error instead).
+        """
+        if not self._pending or self.config.path is None or self.degraded:
             self._pending.clear()
             return
         data = b"".join(self._pending)
         path = Path(self.config.path)
+        try:
+            self._with_io_guard(lambda: self._append(path, data))
+        except _Degraded:
+            return
+        self._flushed_bytes += len(data)
+        self._pending.clear()
+
+    @staticmethod
+    def _append(path: Path, data: bytes) -> None:
+        fault_point("tracer.flush", path)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
@@ -121,8 +178,41 @@ class RunTracer:
             os.fsync(fd)
         finally:
             os.close(fd)
-        self._flushed_bytes += len(data)
+
+    def _with_io_guard(self, op) -> None:
+        """Run ``op``, retrying OSErrors with backoff; degrade on defeat.
+
+        Raises :class:`_Degraded` (internal control flow) after switching
+        the tracer off, so callers can abandon their write cleanly.  In
+        ``strict_io`` mode the last ``OSError`` propagates unchanged.
+        """
+        retries = getattr(self.config, "io_retries", 3)
+        strict = getattr(self.config, "strict_io", False)
+        rng = np.random.default_rng(self._seq)
+        delay = 0.0
+        for attempt in range(retries + 1):
+            try:
+                op()
+                return
+            except OSError as exc:
+                if strict:
+                    raise
+                if attempt >= retries:
+                    self._degrade(exc)
+                    raise _Degraded() from exc
+                delay = TRACE_IO_RETRY.next_delay(delay, rng)
+                time.sleep(delay)
+
+    def _degrade(self, exc: OSError) -> None:
+        self.degraded = True
         self._pending.clear()
+        warnings.warn(
+            f"run tracing degraded to disabled after repeated I/O failures "
+            f"({exc}); the in-memory ring and counters remain live, but "
+            f"{self.config.path!r} will not be appended to again",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def close(self) -> None:
         """Final flush (idempotent)."""
@@ -135,24 +225,32 @@ class RunTracer:
         ``_flushed_bytes`` belongs to the lost post-snapshot segment and
         will be re-emitted by the resumed run.  The rewrite goes through
         the snapshot layer's atomic temp-file + fsync + rename path, so
-        a crash mid-truncation never tears the file.
+        a crash mid-truncation never tears the file.  I/O failures here
+        degrade the tracer like a failed flush would (a resumed run is
+        precisely the situation where the trace must not kill the run).
         """
         self._pending.clear()
-        if self.config.path is None:
+        if self.config.path is None or self.degraded:
             return
         path = Path(self.config.path)
         if not path.is_file():
             # Trace file vanished between runs: start over cleanly.
             self._flushed_bytes = 0
             return
-        data = path.read_bytes()
-        if len(data) <= self._flushed_bytes:
-            # Nothing beyond the snapshot prefix (or the file is shorter
-            # than expected, e.g. manually truncated): keep what exists.
-            self._flushed_bytes = min(self._flushed_bytes, len(data))
+        try:
+            data = path.read_bytes()
+            if len(data) <= self._flushed_bytes:
+                # Nothing beyond the snapshot prefix (or the file is
+                # shorter than expected, e.g. manually truncated): keep
+                # what exists.
+                self._flushed_bytes = min(self._flushed_bytes, len(data))
+                return
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._with_io_guard(
+                lambda: atomic_write(path, data[: self._flushed_bytes], site="tracer")
+            )
+        except _Degraded:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write(path, data[: self._flushed_bytes])
 
     # -- pickling ------------------------------------------------------------
 
@@ -166,6 +264,7 @@ class RunTracer:
             "ring": self.ring,
             "records_emitted": self.records_emitted,
             "counts": self.counts,
+            "degraded": self.degraded,
             "_seq": self._seq,
             "_flushed_bytes": self._flushed_bytes,
         }
@@ -175,6 +274,8 @@ class RunTracer:
         self.ring = state["ring"]
         self.records_emitted = state["records_emitted"]
         self.counts = state["counts"]
+        # Snapshots from before the degrade path existed lack the key.
+        self.degraded = state.get("degraded", False)
         self._seq = state["_seq"]
         self._flushed_bytes = state["_flushed_bytes"]
         self._pending = []

@@ -15,6 +15,12 @@ grids serially.  A :class:`Campaign` expands such a grid into explicit
 * **fault tolerance** — a worker death (SIGKILL, OOM) poisons the pool;
   the campaign respawns it and re-submits only the unfinished cells,
   bounded by a per-cell retry budget;
+* **hang tolerance** — with ``cell_deadline`` set, a progress watchdog
+  fires when *no* cell completes within the deadline (a per-cell timer
+  would misfire on cells merely queued behind others): hung workers are
+  SIGKILLed, lost cells re-submitted, and cells that hang past the
+  retry budget degrade to the in-process serial path — hangs, unlike
+  repeated deaths, never abort a campaign;
 * **clean Ctrl-C** — pending cells are cancelled and the interrupt
   re-raised; everything already completed is in the cell cache, so the
   re-run resumes instead of restarting;
@@ -204,7 +210,13 @@ class Campaign:
         memoisation of completed cells.
     retries:
         How many times a cell may be re-submitted after transient worker
-        deaths before the campaign gives up.
+        deaths (campaign aborts past the budget) or watchdog-detected
+        hangs (campaign degrades to in-process execution past it).
+    cell_deadline:
+        Progress watchdog (parallel runs only): if no cell completes for
+        this many wall-clock seconds, the workers are presumed hung and
+        SIGKILLed, and the in-flight cells re-submitted.  ``None``
+        (default) waits indefinitely.
     fresh_pool:
         Use a dedicated pool torn down after the run instead of the
         process-global one (benchmarks want cold, isolated workers).
@@ -228,11 +240,16 @@ class Campaign:
         fresh_pool: bool = False,
         progress: "Callable[[int, int, CellOutcome], None] | None" = None,
         profiler: "object | None" = None,
+        cell_deadline: float | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if cell_deadline is not None and cell_deadline <= 0:
+            raise ValueError(
+                f"cell_deadline must be positive, got {cell_deadline}"
+            )
         self.cells = list(cells)
         self.workers = int(workers)
         if cell_cache is not None and not isinstance(cell_cache, CellCache):
@@ -242,6 +259,7 @@ class Campaign:
         self.fresh_pool = bool(fresh_pool)
         self.progress = progress
         self.profiler = profiler
+        self.cell_deadline = cell_deadline
 
     # -- execution ----------------------------------------------------------
 
@@ -309,10 +327,22 @@ class Campaign:
                     pool.submit(_run_cell, effective[i]): i for i in pending
                 }
                 broken = False
+                hung = False
                 not_done = set(futures)
                 try:
                     while not_done:
-                        finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        finished, not_done = wait(
+                            not_done,
+                            timeout=self.cell_deadline,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not finished:
+                            # Progress watchdog: *nothing* completed for a
+                            # whole deadline.  (Per-future timers would
+                            # misfire on cells still queued behind long
+                            # but healthy ones.)
+                            hung = True
+                            break
                         for future in finished:
                             i = futures[future]
                             result, scheduler = future.result()
@@ -330,23 +360,43 @@ class Campaign:
                         future.cancel()
                     raise
                 pending = []
-                if broken:
-                    # A worker died (SIGKILL/OOM): every in-flight future
-                    # is lost even if its cell was innocent.  Respawn the
-                    # pool and re-submit whatever has not completed.
-                    if self.fresh_pool:
+                if broken or hung:
+                    # Every in-flight future is lost even if its cell was
+                    # innocent.  Reap workers, respawn, and re-submit
+                    # whatever has not completed.
+                    if hung:
+                        # Hung workers never poison the pool themselves;
+                        # SIGKILL is the only signal a stopped process
+                        # obeys, and it implies a reset.
+                        for future in not_done:
+                            future.cancel()
+                        pool.kill_workers()
+                    elif self.fresh_pool:
                         pool.reset()
                     else:
                         reset_pool()
+                    if not self.fresh_pool:
                         pool = get_pool(self.workers)
                     lost = sorted(i for i in futures.values() if i not in outcomes)
                     for i in lost:
                         attempts[i] += 1
-                        if attempts[i] > self.retries:
+                    exhausted = [i for i in lost if attempts[i] > self.retries]
+                    if exhausted:
+                        if not hung:
                             raise CampaignError(
-                                f"cell {effective[i].describe()} failed "
-                                f"{attempts[i]} times (worker deaths); giving up"
+                                f"cell {effective[exhausted[0]].describe()} "
+                                f"failed {attempts[exhausted[0]]} times "
+                                f"(worker deaths); giving up"
                             )
+                        # Cells that hang past the budget degrade to the
+                        # in-process serial path: a hang is an environment
+                        # property (stuck I/O, stopped workers), not a
+                        # property of the cell, so computing it here is
+                        # strictly better than aborting the campaign.
+                        done = self._run_serial(
+                            effective, keys, exhausted, outcomes, done
+                        )
+                        lost = [i for i in lost if i not in outcomes]
                     pending = lost
         finally:
             if self.fresh_pool:

@@ -27,21 +27,41 @@ the same temp-file + ``fsync`` + rename protocol as the durability
 layer's :class:`~repro.durability.snapshot.SnapshotStore`, so a crash
 mid-write can never leave a readable-but-torn entry.  Corrupt or
 unreadable entries are treated as misses and deleted.
+
+The cache is an accelerator, not the product: a ``put`` that keeps
+failing (full disk, dead mount) is retried briefly and then the cache
+*degrades* — further puts become no-ops, one warning is emitted, and the
+campaign keeps computing results it simply cannot memoise.  Reads keep
+working (misses at worst).
 """
 
 from __future__ import annotations
 
 import hashlib
 import pickle
+import time
+import warnings
 from pathlib import Path
 from typing import Any
 
-from repro.durability.snapshot import atomic_write
+import numpy as np
 
-__all__ = ["CellCache", "CELL_CACHE_FORMAT"]
+from repro.durability.snapshot import atomic_write
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["CellCache", "CELL_CACHE_FORMAT", "CACHE_IO_RETRY"]
 
 #: Bump when the pickled payload layout changes incompatibly.
 CELL_CACHE_FORMAT = 1
+
+#: Backoff between failed put attempts; short, because a campaign cell's
+#: result is already in memory and the put blocks the fan-out loop.
+CACHE_IO_RETRY = RetryPolicy(
+    base_delay=0.05, max_delay=0.5, multiplier=3.0, max_attempts=8
+)
+
+#: Put retries before the cache degrades to write-disabled.
+_PUT_RETRIES = 2
 
 _MAGIC = b"repro-cell-cache\n"
 
@@ -51,6 +71,9 @@ class CellCache:
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
+        #: ``True`` once writes failed past their retry budget; further
+        #: puts are silently skipped (reads still work).
+        self.degraded = False
 
     # -- keys ---------------------------------------------------------------
 
@@ -87,12 +110,42 @@ class CellCache:
             path.unlink(missing_ok=True)
             return None
 
-    def put(self, key: str, payload: Any) -> None:
-        """Atomically persist *payload* under *key* (write-then-rename)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def put(self, key: str, payload: Any) -> bool:
+        """Atomically persist *payload* under *key* (write-then-rename).
+
+        Returns ``True`` on success.  Persistent ``OSError`` degrades the
+        cache to write-disabled (with one warning) instead of raising —
+        losing memoisation must never lose the computed result."""
+        if self.degraded:
+            return False
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(blob).hexdigest().encode("ascii")
-        atomic_write(self.path_of(key), _MAGIC + digest + b"\n" + blob)
+        data = _MAGIC + digest + b"\n" + blob
+        path = self.path_of(key)
+        # Keys are SHA-256 hex, so the prefix is a deterministic,
+        # per-entry jitter seed.
+        rng = np.random.default_rng(int(key[:8], 16) if key else 0)
+        delay = 0.0
+        for attempt in range(_PUT_RETRIES + 1):
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                atomic_write(path, data, site="cellcache")
+                return True
+            except OSError as exc:
+                if attempt >= _PUT_RETRIES:
+                    self.degraded = True
+                    warnings.warn(
+                        f"cell cache at {self.directory} degraded to "
+                        f"write-disabled after repeated I/O failures "
+                        f"({exc}); campaign results are no longer being "
+                        f"memoised",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return False
+                delay = CACHE_IO_RETRY.next_delay(delay, rng)
+                time.sleep(delay)
+        return False  # pragma: no cover - loop always returns
 
     def __len__(self) -> int:
         if not self.directory.is_dir():

@@ -34,12 +34,19 @@ the wave once, then falls back to in-process serial evaluation — a
 parallel evaluation can therefore never fail in a way the serial path
 would not.  Per-policy exceptions are returned as error records and fed
 into the selector's quarantine machinery exactly like serial failures.
+
+A *hung* worker (SIGSTOP, runaway host) never poisons the pool, so the
+evaluator also carries an optional watchdog: with ``wave_deadline`` set,
+a wave that fails to complete within the deadline has its workers
+SIGKILLed (:meth:`~repro.parallel.pool.WorkerPool.kill_workers`) and is
+retried on a fresh pool, with the same terminal serial fallback.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -125,11 +132,24 @@ class ParallelPortfolioEvaluator:
     through the durability layer.
     """
 
-    def __init__(self, simulator: OnlineSimulator, workers: int) -> None:
+    def __init__(
+        self,
+        simulator: OnlineSimulator,
+        workers: int,
+        wave_deadline: float | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if wave_deadline is not None and wave_deadline <= 0:
+            raise ValueError(
+                f"wave_deadline must be positive, got {wave_deadline}"
+            )
         self.simulator = simulator
         self.workers = int(workers)
+        #: Wall-clock seconds a whole wave may take before its workers
+        #: are presumed hung and SIGKILLed; ``None`` disables the
+        #: watchdog (a wave then waits indefinitely, as before).
+        self.wave_deadline = wave_deadline
 
     def evaluate_wave(
         self,
@@ -165,11 +185,28 @@ class ParallelPortfolioEvaluator:
                 )
                 for chunk in chunks
             ]
+            deadline = (
+                time.monotonic() + self.wave_deadline
+                if self.wave_deadline is not None
+                else None
+            )
             try:
                 results: list[EvalRecord] = []
                 for future in futures:  # submission order == wave order
-                    results.extend(future.result())
+                    if deadline is None:
+                        results.extend(future.result())
+                    else:
+                        remaining = max(0.0, deadline - time.monotonic())
+                        results.extend(future.result(timeout=remaining))
                 return results
+            except FutureTimeout:
+                # A worker is hung (SIGSTOP, stalled host): it will never
+                # resolve its future and never poison the pool.  SIGKILL
+                # the workers — the only signal a stopped process obeys —
+                # and retry on a fresh pool.
+                for future in futures:
+                    future.cancel()
+                pool.kill_workers()
             except BrokenExecutor:
                 # A worker died mid-wave (OOM-killer, SIGKILL, ...).
                 # Respawn and retry the whole wave: evaluations are pure,

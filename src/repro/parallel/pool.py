@@ -23,8 +23,22 @@ Design points:
   invoke :func:`reset_pool` to discard the broken executor and respawn.
   Completed futures keep their results, so only unfinished work is
   re-submitted by the caller.
+* **Hang containment.**  A *stopped* worker (``SIGSTOP``, hardware
+  stall, livelock) is worse than a dead one: it never poisons the
+  executor, its futures never resolve, and a plain
+  ``shutdown(wait=True)`` — including the interpreter's own atexit
+  joins — blocks forever.  :meth:`WorkerPool.shutdown` therefore bounds
+  its wait and escalates to ``SIGKILL`` (which terminates even stopped
+  processes); :meth:`WorkerPool.kill_workers` gives watchdogs the same
+  hammer directly.
 * **Ctrl-C.**  Workers ignore ``SIGINT``; the main process owns
   interrupt handling and cancels or abandons outstanding futures.
+
+Chaos: every :meth:`WorkerPool.submit` consults the
+``pool.task`` fault point (:mod:`repro.chaos.hooks`); a scheduled
+``kill``/``stop`` action makes the worker SIGKILL/SIGSTOP *itself* on
+task entry, which is how the test suite manufactures dead and hung
+workers deterministically.
 """
 
 from __future__ import annotations
@@ -33,7 +47,10 @@ import atexit
 import multiprocessing
 import os
 import signal
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.chaos.hooks import task_action
 
 __all__ = ["WorkerPool", "get_pool", "reset_pool", "shutdown_pool", "cpu_workers"]
 
@@ -53,8 +70,23 @@ def _init_worker() -> None:  # pragma: no cover - runs in the child process
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _chaos_task(action: str, fn, args: tuple, kwargs: dict):
+    """Worker-side wrapper applying a scheduled chaos action, then the task.
+
+    ``kill`` never returns; ``stop`` parks the worker until someone sends
+    ``SIGCONT`` (or, in practice, until a watchdog SIGKILLs it)."""
+    if action == "kill":  # pragma: no cover - dies before coverage flushes
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "stop":  # pragma: no cover - stopped before flushes
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return fn(*args, **kwargs)
+
+
 class WorkerPool:
     """A lazily created, respawnable spawn-context process pool."""
+
+    #: Grace a bounded shutdown grants workers before the SIGKILL sweep.
+    SHUTDOWN_GRACE = 5.0
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -73,7 +105,44 @@ class WorkerPool:
         return self._executor
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
+        # The chaos decision is made here, in the parent (where the
+        # injector lives); only the resulting action ships to the worker.
+        action = task_action("pool.task")
+        if action is not None:
+            return self.executor.submit(_chaos_task, action, fn, args, kwargs)
         return self.executor.submit(fn, *args, **kwargs)
+
+    def processes(self) -> list:
+        """Live handles of the executor's worker processes (may be empty)."""
+        executor = self._executor
+        if executor is None:
+            return []
+        # Private, but the only handle the stdlib offers; guarded so a
+        # future stdlib rename degrades to "no processes found" rather
+        # than an AttributeError inside a watchdog.
+        procs = getattr(executor, "_processes", None) or {}
+        return list(procs.values())
+
+    def kill_workers(self) -> int:
+        """SIGKILL every worker process and discard the executor.
+
+        SIGKILL terminates even SIGSTOPped processes, so this is the one
+        reliable way to reap a *hung* (as opposed to dead) worker.  The
+        next :meth:`submit` respawns a fresh pool.  Returns the number of
+        processes signalled."""
+        procs = self.processes()
+        signalled = 0
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+                    signalled += 1
+            except (ProcessLookupError, ValueError, OSError):
+                pass  # already reaped, or closed handle
+        self.reset()
+        for proc in procs:
+            proc.join(timeout=self.SHUTDOWN_GRACE)
+        return signalled
 
     def reset(self) -> None:
         """Discard the (typically broken) executor; the next submit respawns."""
@@ -84,11 +153,34 @@ class WorkerPool:
             # drained without waiting so reset never blocks on stuck work.
             executor.shutdown(wait=False, cancel_futures=True)
 
-    def shutdown(self) -> None:
+    def shutdown(self, timeout: float | None = SHUTDOWN_GRACE) -> None:
+        """Tear the pool down, waiting at most *timeout* seconds.
+
+        ``shutdown(wait=True)`` on an executor with a stopped worker
+        blocks forever, which used to deadlock atexit teardown and any
+        test calling :func:`shutdown_pool`.  Instead: cancel queued work,
+        give workers *timeout* seconds to drain, then SIGKILL stragglers.
+        ``timeout=None`` restores the unbounded wait."""
         executor = self._executor
         self._executor = None
-        if executor is not None:
+        if executor is None:
+            return
+        if timeout is None:
             executor.shutdown(wait=True, cancel_futures=True)
+            return
+        procs = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + timeout
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [p for p in procs if p.is_alive()]
+        for proc in stragglers:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, ValueError, OSError):
+                pass
+        for proc in stragglers:
+            proc.join(timeout=self.SHUTDOWN_GRACE)
 
 
 _pool: WorkerPool | None = None

@@ -99,12 +99,16 @@ class TestSnapshotStore:
             store.load_latest()
 
     def test_unsupported_format_refused(self, tmp_path):
+        # Both the top-level manifest AND the generation sidecar must be
+        # tampered: the recovery ladder would otherwise (correctly) fall
+        # back to the intact sidecar and load anyway.
         store = SnapshotStore(self.config(tmp_path))
         store.write({"a": 1}, sequence=1, sim_time=0.0, events_processed=0)
-        manifest = tmp_path / MANIFEST_NAME
-        raw = json.loads(manifest.read_text())
-        raw["format"] = 999
-        manifest.write_text(json.dumps(raw))
+        for name in (MANIFEST_NAME, "snap-00000001.meta.json"):
+            path = tmp_path / name
+            raw = json.loads(path.read_text())
+            raw["format"] = 999
+            path.write_text(json.dumps(raw))
         with pytest.raises(SnapshotError, match="format"):
             store.load_latest()
 
