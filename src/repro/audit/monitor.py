@@ -22,6 +22,7 @@ it lives in the same codebase release-locked to them.
 
 from __future__ import annotations
 
+import math
 import sys
 from collections import deque
 from typing import TYPE_CHECKING
@@ -64,6 +65,10 @@ class InvariantMonitor:
         self._last_rv = 0.0
         self._warned = 0
         self._billing_period: float | None = None
+        #: Preemption ("preempt") settlements seen on the billing hook;
+        #: cross-checked against the engine's preemption counter so a
+        #: reclaimed VM can neither dodge its bill nor be billed twice.
+        self._preempt_charges = 0
 
     def attach_billing(self, billing: object) -> None:
         """Learn the charging granularity (None for non-periodic models)."""
@@ -177,27 +182,64 @@ class InvariantMonitor:
                 f"vm {vm.vm_id} billed again ({kind}) after its "
                 "termination charge was already booked",
             )
-        if kind == "terminate":
+        if kind == "preempt":
+            self._preempt_charges += 1
+            if not vm.spot:
+                self._emit(
+                    "preempt-charge-non-spot",
+                    end_time,
+                    f"vm {vm.vm_id} settled as a preemption but is not a "
+                    "spot instance",
+                )
+        if kind in ("terminate", "preempt"):
             self._terminated_vms.add(vm.vm_id)
         if not vm.reserved:
             wall = end_time - vm.lease_time
-            if charged_seconds + _TIME_EPS < wall:
-                self._emit(
-                    "undercharge",
-                    end_time,
-                    f"vm {vm.vm_id} charged {charged_seconds:.3f}s for "
-                    f"{wall:.3f}s of wall lease time",
-                )
+            # Spot charges are priced at vm.price × the on-demand rate;
+            # normalising by the locked price recovers the charged wall
+            # seconds the period invariants apply to.  On-demand VMs have
+            # price 1.0, so ``base`` equals the charge exactly (IEEE754
+            # division by 1.0 is exact) and their checks are unchanged.
+            price = vm.price if vm.spot else 1.0
+            base = charged_seconds / price if price > 0 else charged_seconds
             period = self._billing_period
-            if period:
-                remainder = charged_seconds % period
-                if min(remainder, period - remainder) > _TIME_EPS:
+            if kind == "preempt":
+                # EC2 spot reclamation: whole *completed* periods only —
+                # the provider's cut-short partial period is free.
+                if period:
+                    expected = math.floor(wall / period + 1e-9) * period
+                    if abs(base - expected) > _TIME_EPS:
+                        self._emit(
+                            "spot-preempt-charge-mismatch",
+                            end_time,
+                            f"vm {vm.vm_id} preempted after {wall:.3f}s wall "
+                            f"was charged {base:.3f} price-normalised seconds; "
+                            f"completed-period billing expects {expected:.3f}",
+                        )
+                elif base > wall + _TIME_EPS:
                     self._emit(
-                        "charge-not-period-multiple",
+                        "spot-preempt-overcharge",
                         end_time,
-                        f"vm {vm.vm_id} charge {charged_seconds:.3f}s is not "
-                        f"a whole multiple of the {period:.0f}s billing period",
+                        f"vm {vm.vm_id} preempted after {wall:.3f}s wall was "
+                        f"charged {base:.3f} price-normalised seconds",
                     )
+            else:
+                if base + _TIME_EPS < wall:
+                    self._emit(
+                        "undercharge",
+                        end_time,
+                        f"vm {vm.vm_id} charged {base:.3f}s for "
+                        f"{wall:.3f}s of wall lease time",
+                    )
+                if period:
+                    remainder = base % period
+                    if min(remainder, period - remainder) > _TIME_EPS:
+                        self._emit(
+                            "charge-not-period-multiple",
+                            end_time,
+                            f"vm {vm.vm_id} charge {base:.3f}s is not "
+                            f"a whole multiple of the {period:.0f}s billing period",
+                        )
         self.ledger.vm_charged(
             ChargeEntry(
                 vm_id=vm.vm_id,
@@ -218,6 +260,30 @@ class InvariantMonitor:
         self._check_jobs(engine, now)
         self._check_fleet(engine, now)
         self._check_rv(engine, now)
+        self._check_spot(engine, now)
+
+    def _check_spot(self, engine: "ClusterEngine", now: float) -> None:
+        """Preemption conservation: every reclaim the engine counted must
+        have produced exactly one "preempt" settlement, and reclaims can
+        never outnumber the notices that opened their grace windows."""
+        stats = getattr(engine, "spot_stats", None)
+        if stats is None:
+            return
+        if self._preempt_charges != stats.preemptions:
+            self._emit(
+                "preemption-conservation",
+                now,
+                f"engine counted {stats.preemptions} preemptions but the "
+                f"billing hook saw {self._preempt_charges} preempt "
+                "settlements",
+            )
+        if stats.preemptions > stats.preempt_notices:
+            self._emit(
+                "preemption-conservation",
+                now,
+                f"{stats.preemptions} VMs reclaimed but only "
+                f"{stats.preempt_notices} preemption notices were issued",
+            )
 
     def _check_jobs(self, engine: "ClusterEngine", now: float) -> None:
         counts: dict[JobState, int] = {state: 0 for state in JobState}
@@ -400,6 +466,7 @@ class InvariantMonitor:
         """
         self._check_jobs(engine, end)
         self._check_rv(engine, end)
+        self._check_spot(engine, end)
         oracle = DifferentialOracle(
             rel_tol=self.config.oracle_rel_tol,
             abs_tol=self.config.oracle_abs_tol,

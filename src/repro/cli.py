@@ -178,6 +178,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kill budget per job before it ends FAILED "
                        "(default: unlimited)")
 
+    spot = p_run.add_argument_group(
+        "spot market & control-plane degradation",
+        "hostile-cloud extension: a seeded spot price/preemption process "
+        "plus API brownouts, rate limiting, and a provisioning circuit "
+        "breaker; all knobs off reproduces the cooperative-cloud model "
+        "bit-identically",
+    )
+    spot.add_argument("--spot-fraction", type=_rate, default=0.0, metavar="P",
+                      help="fraction of each provisioning request leased as "
+                      "preemptible spot VMs (0 disables the spot market)")
+    spot.add_argument("--preempt-rate", type=_nonneg_float, default=0.05,
+                      metavar="PER_HOUR",
+                      help="mean spot reclaims per VM-hour")
+    spot.add_argument("--spot-price", type=_rate, default=0.3, metavar="MEAN",
+                      help="mean spot price as a fraction of on-demand")
+    spot.add_argument("--spot-bid", type=_rate, default=1.0, metavar="BID",
+                      help="default bid ceiling; spot leases are deferred "
+                      "while the price exceeds it (policy members may "
+                      "override per round)")
+    spot.add_argument("--preempt-grace", type=_nonneg_float, default=120.0,
+                      metavar="SECONDS",
+                      help="notice window between VM_PREEMPT and the kill; "
+                      "long enough windows fit an emergency checkpoint")
+    spot.add_argument("--capacity-shortage-rate", type=_rate, default=0.0,
+                      metavar="P",
+                      help="P[spot capacity is exhausted in a price bucket] "
+                      "(InsufficientCapacity; hedged to on-demand)")
+    spot.add_argument("--brownout", type=_nonneg_float, default=0.0,
+                      metavar="PER_DAY",
+                      help="mean control-plane brownout windows per "
+                      "simulated day (provisioning calls rejected)")
+    spot.add_argument("--brownout-duration", type=_positive_float,
+                      default=600.0, metavar="SECONDS",
+                      help="mean brownout window length")
+    spot.add_argument("--api-rate-limit", type=_positive_int, default=None,
+                      metavar="N",
+                      help="max provisioning calls per rolling window; "
+                      "excess calls are throttled (feeds the breaker)")
+    spot.add_argument("--api-rate-window", type=_positive_float,
+                      default=60.0, metavar="SECONDS",
+                      help="rolling window for --api-rate-limit")
+    spot.add_argument("--breaker-threshold", type=_positive_int, default=3,
+                      metavar="N",
+                      help="consecutive control-plane failures that open "
+                      "the provisioning circuit breaker")
+    spot.add_argument("--breaker-cooldown", type=_positive_float,
+                      default=300.0, metavar="SECONDS",
+                      help="base cooldown before the open breaker admits a "
+                      "half-open probe (decorrelated-jitter backoff)")
+    spot.add_argument("--no-hedge", action="store_true",
+                      help="do not fall back to on-demand when spot "
+                      "capacity is short or the price exceeds the bid")
+    spot.add_argument("--spot-policies", action="store_true",
+                      help="extend the portfolio with the preemption-aware "
+                      "family (bid-threshold provisioning, checkpoint-"
+                      "interval tuning), arbitrated by Algorithm 1")
+
     durable = p_run.add_argument_group(
         "durability",
         "crash-safe execution: periodic atomic snapshots of full run state, "
@@ -421,6 +478,42 @@ def _resilience_config(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _spot_config(args: argparse.Namespace):
+    """Build the SpotConfig for the hostile-cloud knobs, or None.
+
+    The market switches on only when a knob with observable effect is
+    raised (a spot fraction, a brownout rate, or an API rate limit);
+    leaving everything at the defaults must construct the exact same
+    EngineConfig as builds predating the spot layer.
+    """
+    active = (
+        args.spot_fraction > 0.0
+        or args.brownout > 0.0
+        or args.api_rate_limit is not None
+    )
+    if not active:
+        return None
+    from repro.cloud.spot import SpotConfig
+
+    return SpotConfig(
+        seed=args.seed,
+        spot_fraction=args.spot_fraction,
+        price_mean=args.spot_price,
+        preempt_rate_per_hour=args.preempt_rate,
+        grace_period_seconds=args.preempt_grace,
+        bid=args.spot_bid,
+        capacity_shortage_rate=args.capacity_shortage_rate,
+        brownout_mtbb_seconds=(86_400.0 / args.brownout
+                               if args.brownout else None),
+        brownout_duration_seconds=args.brownout_duration,
+        api_rate_limit=args.api_rate_limit,
+        api_rate_window_seconds=args.api_rate_window,
+        hedge=not args.no_hedge,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+    )
+
+
 def _snapshot_config(args: argparse.Namespace):
     """Build the SnapshotConfig for --snapshot-dir, or None."""
     if not args.snapshot_dir:
@@ -466,13 +559,25 @@ def _build_engine(args: argparse.Namespace):
         obs_kwargs["trace"] = TraceConfig(path=args.trace_out)
     if args.profile:
         obs_kwargs["profile"] = True
+    spot_kwargs: dict = {}
+    spot_cfg = _spot_config(args)
+    if spot_cfg is not None:
+        spot_kwargs["spot"] = spot_cfg
     config = EngineConfig(
         provider=ProviderConfig(max_vms=args.max_vms),
         **_resilience_config(args),
+        **spot_kwargs,
         **audit_kwargs,
         **obs_kwargs,
     )
     predictor = _predictor(args.predictor)
+    portfolio_kwargs: dict = {}
+    if args.spot_policies:
+        from repro.policies.spot_aware import spot_portfolio_members
+
+        portfolio_kwargs["portfolio"] = (
+            build_portfolio() + spot_portfolio_members()
+        )
     if args.policy == "portfolio":
         try:
             scheduler = PortfolioScheduler(
@@ -482,6 +587,7 @@ def _build_engine(args: argparse.Namespace):
                 safe_policy=args.safe_policy,
                 workers=args.workers,
                 worker_deadline=args.worker_deadline,
+                **portfolio_kwargs,
             )
         except KeyError as exc:
             raise SystemExit2(exc.args[0], 2) from exc
@@ -562,6 +668,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if r9.any_activity or result.unfinished_jobs:
         row = {**r9.row(), "unfinished": result.unfinished_jobs}
         print(format_table([row], title="resilience"))
+    spot_stats = getattr(result, "spot", None)
+    if spot_stats is not None and spot_stats.any_activity:
+        print(format_table([spot_stats.row()], title="spot market"))
     report = getattr(result, "audit", None)
     if report is not None and (args.audit_report or not report.ok):
         print(format_table([report.summary_row()], title="audit"))

@@ -9,14 +9,19 @@ cap of 256 concurrently leased VMs.
 from repro.cloud.billing import BillingModel, HourlyBilling
 from repro.cloud.profile import CloudProfile, VMSnapshot
 from repro.cloud.provider import CloudProvider, ProviderConfig
+from repro.cloud.spot import CircuitBreaker, SpotConfig, SpotMarket, SpotStats
 from repro.cloud.vm import VM, VMState
 
 __all__ = [
     "BillingModel",
+    "CircuitBreaker",
     "CloudProfile",
     "CloudProvider",
     "HourlyBilling",
     "ProviderConfig",
+    "SpotConfig",
+    "SpotMarket",
+    "SpotStats",
     "VM",
     "VMSnapshot",
     "VMState",

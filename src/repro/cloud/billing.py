@@ -39,6 +39,16 @@ class BillingModel(abc.ABC):
         boundary instant, and an at-or-after contract would loop forever.
         """
 
+    def completed_seconds(self, lease_time: float, end_time: float) -> float:
+        """Charge for *provider-initiated* reclamation (spot preemption).
+
+        EC2 spot semantics: the customer does not pay for the partial
+        billing period the provider cut short, only for whole completed
+        periods.  The conservative default charges like a normal
+        termination; periodic models override with floor semantics.
+        """
+        return self.charged_seconds(lease_time, end_time)
+
 
 class HourlyBilling(BillingModel):
     """Charge per started hour (EC2 on-demand, 2013 semantics).
@@ -77,3 +87,11 @@ class HourlyBilling(BillingModel):
         used = now - lease_time
         periods = math.floor(used / self.period + 1e-9) + 1
         return lease_time + periods * self.period
+
+    def completed_seconds(self, lease_time: float, end_time: float) -> float:
+        if end_time < lease_time:
+            raise ValueError(
+                f"end_time {end_time} precedes lease_time {lease_time}"
+            )
+        used = end_time - lease_time
+        return math.floor(used / self.period + 1e-9) * self.period

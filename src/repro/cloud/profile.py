@@ -55,6 +55,13 @@ class CloudProfile:
     max_vms: int
     boot_delay: float
     billing_period: float
+    #: Spot-market view (hostile-cloud extension): the current raw spot
+    #: price and its risk-adjusted effective price, both as fractions of
+    #: the on-demand rate.  ``None`` (the default, and always the case
+    #: with no spot market) keeps policy evaluation bit-identical to the
+    #: paper's cooperative cloud.
+    spot_price: float | None = None
+    spot_price_effective: float | None = None
 
     @classmethod
     def capture(cls, provider: "CloudProvider", now: float) -> "CloudProfile":

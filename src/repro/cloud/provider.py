@@ -31,6 +31,11 @@ class ProviderConfig:
     max_vms: int = 256
     boot_delay: float = 120.0
     billing_period: float = 3_600.0
+    #: Flat-rate discount applied to reserved-instance settlements
+    #: (:meth:`CloudProvider.settle_stragglers` and
+    #: :meth:`CloudProvider.finalize_reserved` read it when no explicit
+    #: discount is passed, so call sites cannot silently disagree).
+    reserved_discount: float = 0.4
 
     def __post_init__(self) -> None:
         if self.max_vms < 1:
@@ -40,6 +45,10 @@ class ProviderConfig:
         if self.billing_period <= 0:
             raise ValueError(
                 f"billing_period must be positive, got {self.billing_period}"
+            )
+        if not 0.0 < self.reserved_discount <= 1.0:
+            raise ValueError(
+                f"reserved_discount must lie in (0, 1], got {self.reserved_discount}"
             )
 
 
@@ -61,27 +70,45 @@ class CloudProvider:
         self._fleet: dict[int, VM] = {}
         self.charged_seconds_total = 0.0
         self.leases_total = 0
+        #: Price-weighted charged seconds booked against spot instances
+        #: (subset of ``charged_seconds_total``); 0.0 with no spot market.
+        self.spot_charged_seconds = 0.0
         #: Optional billing observation hook: called with
         #: ``(vm, charged_seconds, end_time, kind)`` after every charge is
         #: booked into ``charged_seconds_total`` (``kind`` is one of
-        #: ``terminate | straggler | reserved``).  The audit layer's
-        #: invariant monitor subscribes here to keep its independent
-        #: charge ledger; ``None`` (default) adds no overhead.
+        #: ``terminate | straggler | reserved | preempt``).  The audit
+        #: layer's invariant monitor subscribes here to keep its
+        #: independent charge ledger; ``None`` (default) adds no overhead.
         self.on_charge: Callable[[VM, float, float, str], None] | None = None
 
     # -- leasing ------------------------------------------------------------
 
-    def lease(self, count: int, now: float, reserved: bool = False) -> list[VM]:
+    def lease(
+        self,
+        count: int,
+        now: float,
+        reserved: bool = False,
+        *,
+        spot: bool = False,
+        price: float = 1.0,
+    ) -> list[VM]:
         """Lease up to *count* VMs at *now*; returns the VMs actually leased.
 
         The result is shorter than *count* when the concurrency cap binds
         (EC2 instance-limit semantics: requests are partially satisfied).
         ``reserved`` marks committed instances: they count against the cap
         and boot like any VM, but release rules skip them and they are
-        billed flat-rate via :meth:`finalize_reserved`.
+        billed flat-rate via :meth:`finalize_reserved`.  ``spot`` marks
+        preemptible instances charged at ``price`` × the on-demand rate
+        (locked at lease time); the provider may reclaim them at any
+        moment via :meth:`preempt`.
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
+        if reserved and spot:
+            raise ValueError("a VM cannot be both reserved and spot")
+        if price <= 0:
+            raise ValueError(f"price must be positive, got {price}")
         room = self.config.max_vms - self.leased_count()
         granted = min(count, max(0, room))
         vms = []
@@ -91,6 +118,8 @@ class CloudProvider:
                 lease_time=now,
                 ready_time=now + self.config.boot_delay,
                 reserved=reserved,
+                spot=spot,
+                price=price,
             )
             self._next_id += 1
             self._fleet[vm.vm_id] = vm
@@ -111,11 +140,35 @@ class CloudProvider:
                 f"vm {vm.vm_id} is reserved; use finalize_reserved at run end"
             )
         vm.terminate(now)
-        charge = self.billing.charged_seconds(vm.lease_time, now)
+        charge = self.billing.charged_seconds(vm.lease_time, now) * vm.price
         self.charged_seconds_total += charge
+        if vm.spot:
+            self.spot_charged_seconds += charge
         del self._fleet[vm.vm_id]
         if self.on_charge is not None:
             self.on_charge(vm, charge, now, "terminate")
+        return charge
+
+    def preempt(self, vm: VM, now: float) -> float:
+        """Provider-initiated reclamation of a spot VM; returns the charge.
+
+        EC2 spot semantics: the customer pays ``price`` × whole *completed*
+        billing periods — the partial period the provider cut short is
+        free (a VM reclaimed inside its first period costs nothing).  The
+        caller must have released any job first; a BUSY VM cannot be
+        reclaimed through this method.
+        """
+        if vm.vm_id not in self._fleet:
+            raise KeyError(f"vm {vm.vm_id} is not in this provider's fleet")
+        if not vm.spot:
+            raise ValueError(f"vm {vm.vm_id} is not a spot instance")
+        vm.terminate(now)
+        charge = self.billing.completed_seconds(vm.lease_time, now) * vm.price
+        self.charged_seconds_total += charge
+        self.spot_charged_seconds += charge
+        del self._fleet[vm.vm_id]
+        if self.on_charge is not None:
+            self.on_charge(vm, charge, now, "preempt")
         return charge
 
     def terminate_all(self, now: float) -> float:
@@ -126,7 +179,9 @@ class CloudProvider:
                 total += self.terminate(vm, now)
         return total
 
-    def settle_stragglers(self, now: float, reserved_discount: float = 1.0) -> float:
+    def settle_stragglers(
+        self, now: float, reserved_discount: float | None = None
+    ) -> float:
         """Book charges for VMs still BUSY at *now* (stalled-run cleanup).
 
         :meth:`terminate_all` and :meth:`finalize_reserved` deliberately
@@ -136,7 +191,13 @@ class CloudProvider:
         reserved — without touching their (still BUSY) state.  A second
         call books nothing new, and drained runs have no BUSY VMs, so
         this is a no-op outside the stalled case.
+
+        ``reserved_discount`` defaults to the provider config's rate, so
+        every call site settles reserved capacity at the same price as
+        :meth:`finalize_reserved`; pass a value only to override it.
         """
+        if reserved_discount is None:
+            reserved_discount = self.config.reserved_discount
         extra = 0.0
         settled: list[tuple[VM, float]] = []
         for vm in self._fleet.values():
@@ -145,7 +206,11 @@ class CloudProvider:
             if vm.reserved:
                 charge = max(0.0, now - vm.lease_time) * reserved_discount
             else:
-                charge = self.billing.charged_seconds(vm.lease_time, max(now, vm.lease_time))
+                charge = self.billing.charged_seconds(
+                    vm.lease_time, max(now, vm.lease_time)
+                ) * vm.price
+                if vm.spot:
+                    self.spot_charged_seconds += charge
             extra += charge
             settled.append((vm, charge))
         self.charged_seconds_total += extra
@@ -160,13 +225,16 @@ class CloudProvider:
                 vm.ready_time = max(vm.ready_time, vm.lease_time)
         return extra
 
-    def finalize_reserved(self, now: float, discount: float) -> float:
+    def finalize_reserved(self, now: float, discount: float | None = None) -> float:
         """Settle every reserved instance's flat-rate bill at run end.
 
         A reserved VM costs ``discount × committed seconds`` whether used
         or not (the effective-rate model of long-term reservations);
         the charge is booked into the provider total and returned.
+        ``discount`` defaults to the config's ``reserved_discount``.
         """
+        if discount is None:
+            discount = self.config.reserved_discount
         if not 0.0 < discount <= 1.0:
             raise ValueError(f"discount must lie in (0, 1], got {discount}")
         total = 0.0
@@ -211,6 +279,10 @@ class CloudProvider:
         return sum(1 for vm in self._fleet.values() if vm.state in
                    (VMState.IDLE, VMState.BOOTING))
 
+    def spot_count(self) -> int:
+        """Currently leased spot instances."""
+        return sum(1 for vm in self._fleet.values() if vm.spot)
+
     # -- billing helpers ------------------------------------------------------
 
     def remaining_paid(self, vm: VM, now: float) -> float:
@@ -226,6 +298,7 @@ class CloudProvider:
         hour-rounded charge the live fleet would incur if stopped at *now*."""
         live = sum(
             self.billing.charged_seconds(vm.lease_time, max(now, vm.lease_time))
+            * vm.price
             for vm in self._fleet.values()
         )
         return self.charged_seconds_total + live

@@ -1,0 +1,508 @@
+"""Hostile-cloud substrate: spot market + control-plane degradation.
+
+The paper's provider (§5.1) is cooperative — every lease is granted
+instantly at a fixed price.  Real IaaS clouds are not: preemptible
+("spot") capacity is cheaper but reclaimed with minutes of notice,
+lease calls throw InsufficientCapacity, control planes rate-limit and
+brown out.  This module models all of that as deterministic seeded
+processes so hostile-cloud runs replay bit-identically:
+
+* :class:`SpotConfig` — every knob, frozen and picklable; the engine's
+  single switch for the whole layer (``None`` = the paper's cloud).
+* :class:`SpotMarket` — the seeded environment processes: a piecewise-
+  constant spot price (lognormal per price bucket, *bucket-pure*: the
+  price of a bucket depends only on ``(seed, bucket)``, never on query
+  order), per-bucket InsufficientCapacity windows, exponential
+  per-VM preemption draws, and exponential brownout windows.
+* :class:`CircuitBreaker` — the scheduler-side response: consecutive
+  control-plane failures open the breaker (provisioning stops,
+  backpressure builds), a cooldown (``resilience.RetryPolicy``
+  decorrelated jitter, growing per reopen) gates a half-open probe,
+  and one success closes it again.  CLOSED → OPEN → HALF_OPEN → CLOSED.
+* :class:`SpotStats` — every counter the export surfaces.
+
+Price/preemption/brownout streams are derived with
+:func:`repro.sim.rng.make_rng`, so a run with the spot layer off never
+touches them and stays bit-identical to builds predating this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.resilience.retry import RetryPolicy, RetryState
+from repro.sim.rng import make_rng
+
+__all__ = ["SpotConfig", "SpotMarket", "CircuitBreaker", "SpotStats"]
+
+#: Prices are clipped to this band: never free, never above on-demand.
+_PRICE_FLOOR = 0.01
+_PRICE_CEIL = 1.0
+
+#: Bid-crossing scans are bounded to this many price buckets (with the
+#: default 300 s bucket: ~one simulated week) — beyond that the VM has
+#: almost surely been preempted or released anyway.
+_MAX_BID_SCAN = 2048
+
+
+@dataclass(slots=True, frozen=True)
+class SpotConfig:
+    """Every knob of the hostile-cloud layer (defaults = a mildly
+    hostile public cloud; all processes seeded and deterministic).
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the price/preemption/capacity/brownout/breaker
+        streams (independent of every other experiment stream).
+    spot_fraction:
+        Default share of each provisioning request targeted at spot
+        capacity (policies may override per tick via ``spot_plan``).
+    price_mean / price_volatility / price_interval_seconds:
+        The spot price is piecewise constant over ``price_interval``
+        buckets; each bucket draws lognormal with mean ``price_mean``
+        (fraction of the on-demand rate) and sigma ``price_volatility``,
+        clipped to [0.01, 1].
+    preempt_rate_per_hour:
+        Mean capacity-reclaim preemptions per spot VM-hour (exponential
+        inter-arrival per VM; 0 disables reclaim preemptions — bid
+        crossings can still preempt).
+    grace_period_seconds:
+        Notice-to-kill window of a preemption (EC2 gives 120 s).  With a
+        checkpoint policy configured and ``grace >= overhead`` the engine
+        takes an emergency checkpoint inside the window.
+    bid:
+        Default maximum price the scheduler accepts for spot capacity.
+        New leases are deferred while the price exceeds it, and running
+        spot VMs are preempted when the price path first crosses it.
+    capacity_shortage_rate:
+        Probability (per price bucket) that spot lease calls return
+        InsufficientCapacity for the whole bucket.
+    brownout_mtbb_seconds / brownout_duration_seconds:
+        Control-plane brownouts: exponential windows (mean time between
+        brownouts / mean duration) during which *all* lease calls fail.
+        ``None`` disables brownouts.
+    api_rate_limit / api_rate_window_seconds:
+        Token-bucket throttle on lease API calls: at most ``limit``
+        calls per window; excess calls fail (and count against the
+        breaker).  ``None`` = unthrottled.
+    hedge:
+        Fall back to on-demand capacity when spot is denied (bid
+        exceeded, InsufficientCapacity) instead of leaving demand queued.
+    breaker_threshold:
+        Consecutive control-plane failures that open the circuit breaker.
+    breaker_cooldown_seconds:
+        Base cooldown of the open breaker; reopen cooldowns grow with
+        decorrelated jitter (``RetryPolicy``) up to 16× this value.
+    risk_aversion:
+        Weight of the preemption-risk premium in the *effective* spot
+        price the online simulator scores with (0 = price-taker).
+    """
+
+    seed: int = 0
+    spot_fraction: float = 0.5
+    price_mean: float = 0.3
+    price_volatility: float = 0.25
+    price_interval_seconds: float = 300.0
+    preempt_rate_per_hour: float = 0.05
+    grace_period_seconds: float = 120.0
+    bid: float = 1.0
+    capacity_shortage_rate: float = 0.0
+    brownout_mtbb_seconds: float | None = None
+    brownout_duration_seconds: float = 600.0
+    api_rate_limit: int | None = None
+    api_rate_window_seconds: float = 60.0
+    hedge: bool = True
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 300.0
+    risk_aversion: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spot_fraction <= 1.0:
+            raise ValueError(
+                f"spot_fraction must lie in [0, 1], got {self.spot_fraction}"
+            )
+        if not 0.0 < self.price_mean <= 1.0:
+            raise ValueError(
+                f"price_mean must lie in (0, 1], got {self.price_mean}"
+            )
+        if self.price_volatility < 0:
+            raise ValueError(
+                f"price_volatility must be >= 0, got {self.price_volatility}"
+            )
+        if self.price_interval_seconds <= 0:
+            raise ValueError(
+                f"price_interval_seconds must be positive, got "
+                f"{self.price_interval_seconds}"
+            )
+        if self.preempt_rate_per_hour < 0:
+            raise ValueError(
+                f"preempt_rate_per_hour must be >= 0, got "
+                f"{self.preempt_rate_per_hour}"
+            )
+        if self.grace_period_seconds < 0:
+            raise ValueError(
+                f"grace_period_seconds must be >= 0, got "
+                f"{self.grace_period_seconds}"
+            )
+        if not 0.0 < self.bid <= 1.0:
+            raise ValueError(f"bid must lie in (0, 1], got {self.bid}")
+        if not 0.0 <= self.capacity_shortage_rate <= 1.0:
+            raise ValueError(
+                f"capacity_shortage_rate must lie in [0, 1], got "
+                f"{self.capacity_shortage_rate}"
+            )
+        if self.brownout_mtbb_seconds is not None and self.brownout_mtbb_seconds <= 0:
+            raise ValueError(
+                f"brownout_mtbb_seconds must be positive, got "
+                f"{self.brownout_mtbb_seconds}"
+            )
+        if self.brownout_duration_seconds <= 0:
+            raise ValueError(
+                f"brownout_duration_seconds must be positive, got "
+                f"{self.brownout_duration_seconds}"
+            )
+        if self.api_rate_limit is not None and self.api_rate_limit < 1:
+            raise ValueError(
+                f"api_rate_limit must be >= 1, got {self.api_rate_limit}"
+            )
+        if self.api_rate_window_seconds <= 0:
+            raise ValueError(
+                f"api_rate_window_seconds must be positive, got "
+                f"{self.api_rate_window_seconds}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_seconds <= 0:
+            raise ValueError(
+                f"breaker_cooldown_seconds must be positive, got "
+                f"{self.breaker_cooldown_seconds}"
+            )
+        if self.risk_aversion < 0:
+            raise ValueError(
+                f"risk_aversion must be >= 0, got {self.risk_aversion}"
+            )
+
+    @property
+    def brownouts_enabled(self) -> bool:
+        return self.brownout_mtbb_seconds is not None
+
+    def effective_price(self, raw_price: float) -> float:
+        """Raw price plus the preemption-risk premium, capped at on-demand.
+
+        A spot VM-hour is only worth its discount if the work survives;
+        the premium ``1 + risk_aversion × preemptions/hour`` folds the
+        expected rework into the price the online simulator scores with.
+        """
+        premium = 1.0 + self.risk_aversion * self.preempt_rate_per_hour
+        return min(_PRICE_CEIL, raw_price * premium)
+
+    def market(self) -> "SpotMarket":
+        return SpotMarket(self)
+
+    def breaker(self) -> "CircuitBreaker":
+        return CircuitBreaker(self)
+
+
+class SpotMarket:
+    """The seeded environment processes of the hostile cloud (stateful;
+    one per engine run, picklable for durability snapshots)."""
+
+    def __init__(self, config: SpotConfig) -> None:
+        self.config = config
+        self._price_cache: dict[int, float] = {}
+        self._shortage_cache: dict[int, bool] = {}
+        self._preempt_rng = make_rng(config.seed, "spot-preempt")
+        self._brownout_rng = make_rng(config.seed, "spot-brownout")
+        self.preemptions_drawn = 0
+
+    # -- price process ------------------------------------------------------
+
+    def bucket(self, now: float) -> int:
+        return int(now // self.config.price_interval_seconds)
+
+    def price_in_bucket(self, bucket: int) -> float:
+        """Spot price during *bucket* (bucket-pure: depends only on the
+        seed and the bucket index, so query order cannot perturb it)."""
+        price = self._price_cache.get(bucket)
+        if price is None:
+            cfg = self.config
+            rng = make_rng(cfg.seed, f"spot-price:{bucket}")
+            if cfg.price_volatility > 0:
+                sigma = cfg.price_volatility
+                # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = price_mean.
+                mu = math.log(cfg.price_mean) - 0.5 * sigma * sigma
+                price = float(rng.lognormal(mu, sigma))
+            else:
+                price = cfg.price_mean
+            price = min(_PRICE_CEIL, max(_PRICE_FLOOR, price))
+            self._price_cache[bucket] = price
+        return price
+
+    def price_at(self, now: float) -> float:
+        return self.price_in_bucket(self.bucket(now))
+
+    def first_bid_crossing(
+        self, bid: float, start: float, horizon: float
+    ) -> float | None:
+        """First time strictly after *start* the price exceeds *bid*,
+        scanning forward bucket by bucket up to *horizon* (bounded)."""
+        if bid >= _PRICE_CEIL:
+            return None  # prices are clipped at on-demand; no crossing
+        interval = self.config.price_interval_seconds
+        first = self.bucket(start) + 1
+        last = min(self.bucket(horizon), first + _MAX_BID_SCAN)
+        for b in range(first, last + 1):
+            if self.price_in_bucket(b) > bid:
+                return b * interval
+        return None
+
+    # -- capacity shortage --------------------------------------------------
+
+    def capacity_short(self, now: float) -> bool:
+        """Is spot capacity exhausted (InsufficientCapacity) right now?
+        Bucket-pure like the price, so it replays identically."""
+        rate = self.config.capacity_shortage_rate
+        if rate <= 0.0:
+            return False
+        bucket = self.bucket(now)
+        short = self._shortage_cache.get(bucket)
+        if short is None:
+            rng = make_rng(self.config.seed, f"spot-capacity:{bucket}")
+            short = bool(rng.random() < rate)
+            self._shortage_cache[bucket] = short
+        return short
+
+    # -- preemption process -------------------------------------------------
+
+    def time_to_preemption(self) -> float:
+        """Seconds until a freshly leased spot VM is reclaimed (capacity
+        churn, independent of the bid); ``inf`` when reclaim is off."""
+        if self.config.preempt_rate_per_hour <= 0:
+            return float("inf")
+        self.preemptions_drawn += 1
+        mean = 3_600.0 / self.config.preempt_rate_per_hour
+        return float(self._preempt_rng.exponential(mean))
+
+    def preemption_at(self, now: float, bid: float) -> float | None:
+        """Absolute preemption-notice time of a spot VM leased at *now*
+        under *bid*: the earlier of its capacity reclaim and the first
+        bucket whose price out-bids it; ``None`` = never (within scan)."""
+        reclaim = now + self.time_to_preemption()
+        horizon = reclaim if math.isfinite(reclaim) else (
+            now + _MAX_BID_SCAN * self.config.price_interval_seconds
+        )
+        crossing = self.first_bid_crossing(bid, now, horizon)
+        if crossing is not None and crossing < reclaim:
+            return crossing
+        if math.isfinite(reclaim):
+            return reclaim
+        return None
+
+    # -- brownouts ----------------------------------------------------------
+
+    def next_brownout_in(self) -> float:
+        """Seconds until the next control-plane brownout window opens."""
+        assert self.config.brownouts_enabled
+        return float(
+            self._brownout_rng.exponential(self.config.brownout_mtbb_seconds)
+        )
+
+    def brownout_duration(self) -> float:
+        return float(
+            self._brownout_rng.exponential(self.config.brownout_duration_seconds)
+        )
+
+
+class CircuitBreaker:
+    """Three-state breaker guarding the provisioning path.
+
+    CLOSED: requests pass; ``breaker_threshold`` *consecutive* failures
+    open it.  OPEN: requests are skipped until the cooldown (drawn from a
+    :class:`RetryPolicy` with decorrelated jitter, growing per reopen)
+    elapses, then one HALF_OPEN probe passes.  A probe success closes
+    the breaker and resets the backoff; a probe failure reopens it with
+    a longer cooldown.  Deterministic per seed; picklable.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, config: SpotConfig) -> None:
+        self.config = config
+        base = config.breaker_cooldown_seconds
+        self.policy = RetryPolicy(
+            base_delay=base,
+            max_delay=16.0 * base,
+            multiplier=2.0,
+            max_attempts=1_000_000,  # the breaker never gives up on its own
+        )
+        self.state_name = self.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.closes = 0
+        self._retry = RetryState()
+        self._rng = make_rng(config.seed, "spot-breaker")
+        #: Last state transition ("open" / "half_open" / "closed"), set by
+        #: the methods below and consumed (cleared) by the engine so each
+        #: transition is traced exactly once.
+        self.last_transition: str | None = None
+
+    def pop_transition(self) -> str | None:
+        transition = self.last_transition
+        self.last_transition = None
+        return transition
+
+    @property
+    def blocked_until(self) -> float:
+        return self._retry.blocked_until
+
+    def allow(self, now: float) -> bool:
+        """May a provisioning request pass at *now*?  An OPEN breaker
+        whose cooldown has elapsed transitions to HALF_OPEN and lets one
+        probe through."""
+        if self.state_name == self.OPEN:
+            if self._retry.blocked(now):
+                return False
+            self.state_name = self.HALF_OPEN
+            self.last_transition = self.HALF_OPEN
+        return True
+
+    def record_failure(self, now: float) -> bool:
+        """Book a control-plane failure; returns True when this opened
+        (or reopened) the breaker."""
+        self.consecutive_failures += 1
+        if self.state_name == self.HALF_OPEN:
+            # The probe failed: reopen with a longer cooldown.
+            self.state_name = self.OPEN
+            self._retry.record_failure(now, self.policy, self._rng)
+            self.opens += 1
+            self.last_transition = self.OPEN
+            return True
+        if (
+            self.state_name == self.CLOSED
+            and self.consecutive_failures >= self.config.breaker_threshold
+        ):
+            self.state_name = self.OPEN
+            self._retry.record_failure(now, self.policy, self._rng)
+            self.opens += 1
+            self.last_transition = self.OPEN
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """Book a successful request; returns True when this closed a
+        half-open breaker."""
+        self.consecutive_failures = 0
+        if self.state_name == self.HALF_OPEN:
+            self.state_name = self.CLOSED
+            self._retry.record_success()
+            self.closes += 1
+            self.last_transition = self.CLOSED
+            return True
+        return False
+
+
+@dataclass(slots=True)
+class SpotStats:
+    """What the hostile cloud did to one run (all zero ⇒ no activity)."""
+
+    #: Spot VMs leased (and the price-weighted sum for the mean price).
+    spot_leases: int = 0
+    spot_price_sum: float = 0.0
+    #: Rounds whose spot demand was deferred because the price out-ran
+    #: the active bid.
+    bid_deferrals: int = 0
+    #: InsufficientCapacity responses, and the VMs they denied.
+    insufficient_capacity: int = 0
+    spot_vms_denied: int = 0
+    #: VMs that fell back from spot to on-demand (hedged provisioning).
+    hedged_vms: int = 0
+    #: Preemption lifecycle: notices issued, VMs actually reclaimed,
+    #: running jobs killed by a reclaim.
+    preempt_notices: int = 0
+    preemptions: int = 0
+    preempted_job_kills: int = 0
+    #: Emergency checkpoints taken inside a grace window.
+    grace_checkpoints: int = 0
+    #: CPU·seconds lost to / saved from preemption kills.
+    preempt_wasted_cpu_seconds: float = 0.0
+    preempt_saved_cpu_seconds: float = 0.0
+    #: Price-weighted charged seconds booked against spot instances.
+    spot_charged_seconds: float = 0.0
+    #: Control-plane degradation: brownout windows, their total length,
+    #: lease calls rejected during them, and throttled (rate-limited)
+    #: calls.
+    brownouts: int = 0
+    brownout_seconds: float = 0.0
+    brownout_rejections: int = 0
+    throttled_calls: int = 0
+    #: Circuit breaker: opens (incl. reopens), closes, and provisioning
+    #: rounds skipped while open.
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    breaker_skips: int = 0
+    #: Rounds where demand queued while provisioning was gated (breaker
+    #: open or brownout) — the admission-control backpressure signal.
+    backpressure_rounds: int = 0
+
+    @property
+    def any_activity(self) -> bool:
+        return bool(
+            self.spot_leases
+            or self.bid_deferrals
+            or self.insufficient_capacity
+            or self.brownouts
+            or self.throttled_calls
+            or self.breaker_opens
+        )
+
+    @property
+    def mean_spot_price(self) -> float:
+        return self.spot_price_sum / self.spot_leases if self.spot_leases else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe export block (``"spot"`` key of the result export)."""
+        return {
+            "spot_leases": self.spot_leases,
+            "mean_spot_price": self.mean_spot_price,
+            "bid_deferrals": self.bid_deferrals,
+            "insufficient_capacity": self.insufficient_capacity,
+            "spot_vms_denied": self.spot_vms_denied,
+            "hedged_vms": self.hedged_vms,
+            "preempt_notices": self.preempt_notices,
+            "preemptions": self.preemptions,
+            "preempted_job_kills": self.preempted_job_kills,
+            "grace_checkpoints": self.grace_checkpoints,
+            "preempt_wasted_cpu_seconds": self.preempt_wasted_cpu_seconds,
+            "preempt_saved_cpu_seconds": self.preempt_saved_cpu_seconds,
+            "spot_charged_seconds": self.spot_charged_seconds,
+            "brownouts": self.brownouts,
+            "brownout_seconds": self.brownout_seconds,
+            "brownout_rejections": self.brownout_rejections,
+            "throttled_calls": self.throttled_calls,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "breaker_skips": self.breaker_skips,
+            "backpressure_rounds": self.backpressure_rounds,
+        }
+
+    def row(self) -> dict[str, object]:
+        """Compact report-table row (CLI output)."""
+        return {
+            "spot_leases": self.spot_leases,
+            "mean_price": round(self.mean_spot_price, 3),
+            "preemptions": self.preemptions,
+            "job_kills": self.preempted_job_kills,
+            "grace_ckpts": self.grace_checkpoints,
+            "hedged": self.hedged_vms,
+            "insuff_cap": self.insufficient_capacity,
+            "brownouts": self.brownouts,
+            "throttled": self.throttled_calls,
+            "breaker_opens": self.breaker_opens,
+            "backpressure": self.backpressure_rounds,
+        }

@@ -46,6 +46,14 @@ class VM:
     #: Reserved instances are committed for the whole experiment: billed
     #: flat at a discounted rate, never terminated by release rules.
     reserved: bool = field(default=False, compare=False)
+    #: Spot instances (hostile-cloud extension): leased from the spot
+    #: market at ``price`` (a fraction of the on-demand rate, locked at
+    #: lease time) and reclaimable by the provider at any moment.
+    spot: bool = field(default=False, compare=False)
+    #: Price multiplier applied to every charge of this VM.  1.0 for
+    #: on-demand/reserved instances, so multiplying is exact (IEEE754
+    #: ``x * 1.0 == x``) and the default path stays bit-identical.
+    price: float = field(default=1.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.ready_time < self.lease_time:

@@ -36,6 +36,7 @@ from repro.core.utility import UtilityFunction
 from repro.policies.base import IdleVM, SchedContext
 from repro.policies.combined import CombinedPolicy
 from repro.policies.provisioning import ODX
+from repro.policies.spot_aware import rv_spot_factor
 from repro.workload.job import BOUNDED_SLOWDOWN_BOUND, Job
 
 __all__ = ["OnlineSimulator", "SimOutcome"]
@@ -136,7 +137,10 @@ class OnlineSimulator:
         boot = profile.boot_delay
         max_vms = profile.max_vms
         provisioning = policy.provisioning
-        is_odx = isinstance(provisioning, ODX)
+        # Spot-aware wrappers delegate demand sizing to their base policy;
+        # the urgency-crossing wake-ups must fire for a wrapped ODX too.
+        base_provisioning = getattr(provisioning, "base", provisioning)
+        is_odx = isinstance(base_provisioning, ODX)
 
         active: list[_SimVM] = [
             _SimVM(
@@ -149,6 +153,11 @@ class OnlineSimulator:
             for snap in profile.vms
         ]
         rv = 0.0  # marginal charges of VMs released in-sim
+        # Charges attributable to VMs *leased in-sim* (subset of ``rv``,
+        # accumulated in parallel so the summation order of ``rv`` itself
+        # never changes).  With a spot snapshot these VM hours are re-priced
+        # at the policy's spot mix; with no spot market it stays unused.
+        rv_new = 0.0
 
         pending: list[int] = list(range(len(queue)))
         start_times: dict[int, float] = {}
@@ -192,6 +201,7 @@ class OnlineSimulator:
                 busy=len(busy_frees),
                 busy_free_times=busy_frees,
                 max_vms=max_vms,
+                spot_price=profile.spot_price,
             )
 
             # --- boundary-rule release pass (ablation mode only) ----------
@@ -202,7 +212,10 @@ class OnlineSimulator:
                     into = (t - vm.lease_time) % period
                     at_boundary = into < _EPS and t > vm.lease_time + _EPS
                     if at_boundary and not provisioning.keep_idle_vm(ctx, 0.0):
-                        rv += self._vm_charge(vm, t0, t, period)
+                        charge = self._vm_charge(vm, t0, t, period)
+                        rv += charge
+                        if not vm.preexisting:
+                            rv_new += charge
                         released.append(vm)
                         ctx.rented -= 1
                         ctx.available -= 1
@@ -280,7 +293,10 @@ class OnlineSimulator:
                     )
                     gone_eager = set()
                     for vm in idle[:surplus]:
-                        rv += self._vm_charge(vm, t0, t, period)
+                        charge = self._vm_charge(vm, t0, t, period)
+                        rv += charge
+                        if not vm.preexisting:
+                            rv_new += charge
                         gone_eager.add(id(vm))
                     active = [vm for vm in active if id(vm) not in gone_eager]
                     idle = idle[surplus:]
@@ -341,7 +357,21 @@ class OnlineSimulator:
         # costs exactly the same hours, so this is the cost a non-wasteful
         # wind-down would book.
         for vm in active:
-            rv += self._vm_charge(vm, t0, vm.last_busy_end, period)
+            charge = self._vm_charge(vm, t0, vm.last_busy_end, period)
+            rv += charge
+            if not vm.preexisting:
+                rv_new += charge
+
+        # Spot snapshot: re-price the VM hours this policy would lease at
+        # its spot mix (risk-adjusted), so cheap-but-risky members compete
+        # on effective cost.  With no spot market the branch is never taken
+        # and ``rv`` reaches the utility untouched — bit-identical scoring.
+        if profile.spot_price is not None:
+            factor = rv_spot_factor(
+                provisioning, profile.spot_price, profile.spot_price_effective
+            )
+            if factor != 1.0:
+                rv = (rv - rv_new) + rv_new * factor
 
         score = self.utility(rj, rv, bsd)
         if truncated:

@@ -68,7 +68,11 @@ MANIFEST_NAME = "MANIFEST.json"
 #: Bump when the payload layout changes incompatibly.
 #: 2: engines carry audit-monitor state (repro.audit); results grew an
 #:    ``audit`` field.
-SNAPSHOT_FORMAT = 2
+#: 3: engines carry the hostile-cloud layer (spot market, breaker,
+#:    preemption bookkeeping); results grew a ``spot`` field.  Format-2
+#:    engines lack those attributes, so resuming one would crash
+#:    mid-run — reject the manifest up front instead.
+SNAPSHOT_FORMAT = 3
 
 
 class SnapshotError(RuntimeError):

@@ -19,6 +19,7 @@ the engine executes.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -29,6 +30,7 @@ from repro.audit.report import AuditReport
 from repro.cloud.failures import FailureModel
 from repro.cloud.profile import CloudProfile
 from repro.cloud.provider import CloudProvider, ProviderConfig
+from repro.cloud.spot import SpotConfig, SpotStats
 from repro.cloud.vm import VM, VMState
 from repro.core.scheduler import PortfolioScheduler, Scheduler
 from repro.metrics.collector import JobRecord, MetricsCollector, SummaryMetrics
@@ -38,6 +40,7 @@ from repro.obs.profiler import Profiler
 from repro.obs.tracer import RunTracer, TraceConfig
 from repro.policies.base import IdleVM, SchedContext
 from repro.policies.combined import CombinedPolicy
+from repro.policies.spot_aware import SpotPlan
 from repro.predict.base import RuntimePredictor
 from repro.predict.simple import OraclePredictor
 from repro.resilience.checkpoint import CheckpointPolicy
@@ -112,6 +115,13 @@ class EngineConfig:
     #: Algorithm 1, parallel waves).  Wall-clock observation only — the
     #: profiler never feeds back into simulated time or Δ accounting.
     profile: bool = False
+    #: Hostile-cloud layer (:mod:`repro.cloud.spot`): a seeded spot market
+    #: (preemptible VMs, price process, bid crossings), control-plane
+    #: degradation (InsufficientCapacity, rate limiting, brownouts) and
+    #: the scheduler's circuit-breaker/hedging response.  ``None``
+    #: (default) is the paper's cooperative cloud — every spot branch is
+    #: gated on it, so the run stays bit-identical to earlier builds.
+    spot: "SpotConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -170,6 +180,9 @@ class ExperimentResult:
     #: had to fall back past a corrupted snapshot generation; ``None``
     #: for fresh runs and clean resumes, keeping their exports identical.
     recovery: "dict | None" = None
+    #: Hostile-cloud counters (``None`` when no spot market was
+    #: configured, keeping cooperative-cloud exports identical).
+    spot: "SpotStats | None" = None
 
     @property
     def failed_jobs(self) -> int:
@@ -211,7 +224,16 @@ class ClusterEngine:
             )
         self.predictor = predictor or OraclePredictor()
         self.observer = observer
-        self.provider = CloudProvider(self.config.provider)
+        # The engine-level reserved_discount is baked into the provider
+        # config, so settlement methods called without an explicit
+        # discount (their default reads the config) cannot disagree with
+        # what the engine charges.
+        provider_cfg = self.config.provider
+        if provider_cfg.reserved_discount != self.config.reserved_discount:
+            provider_cfg = dataclasses.replace(
+                provider_cfg, reserved_discount=self.config.reserved_discount
+            )
+        self.provider = CloudProvider(provider_cfg)
         self.metrics = MetricsCollector()
 
         max_vms = self.config.provider.max_vms
@@ -260,6 +282,28 @@ class ClusterEngine:
         self.jobs_failed = 0
         self.checkpoint_saved_cpu_seconds = 0.0
 
+        # Hostile-cloud layer (extension): spot market, preemption
+        # lifecycle, control-plane degradation, circuit breaker.  All
+        # ``None``/empty when no SpotConfig is given — every branch below
+        # gates on ``self._spot_market is not None``, so cooperative-cloud
+        # runs never touch the spot RNG streams or change a float op.
+        spot_cfg = self.config.spot
+        self._spot_market = spot_cfg.market() if spot_cfg is not None else None
+        self._spot_breaker = spot_cfg.breaker() if spot_cfg is not None else None
+        self.spot_stats = SpotStats() if spot_cfg is not None else None
+        self._brownout_until = float("-inf")
+        #: VMs under a preemption notice: excluded from allocation so no
+        #: fresh job starts inside a closing grace window.
+        self._doomed: set[int] = set()
+        self._preempt_notice_events: dict[int, Event] = {}
+        self._preempt_kill_events: dict[int, Event] = {}
+        # Token-window state of the control-plane rate limiter.
+        self._api_window_start = float("-inf")
+        self._api_window_calls = 0
+        #: Checkpoint-interval override of the active spot-aware policy
+        #: (``None`` keeps the configured cadence).
+        self._ckpt_override: float | None = None
+
         # Workflow support: jobs with unmet dependencies are held back and
         # become eligible (submit time reset to the release instant, so
         # waits measure time-after-eligibility) when their last parent
@@ -301,6 +345,10 @@ class ClusterEngine:
         self.sim.on(EventKind.VM_FAIL, self._on_vm_fail)
         self.sim.on(EventKind.OUTAGE_START, self._on_outage_start)
         self.sim.on(EventKind.OUTAGE_END, self._on_outage_end)
+        self.sim.on(EventKind.VM_PREEMPT, self._on_vm_preempt)
+        self.sim.on(EventKind.VM_PREEMPT_KILL, self._on_vm_preempt_kill)
+        self.sim.on(EventKind.BROWNOUT_START, self._on_brownout_start)
+        self.sim.on(EventKind.BROWNOUT_END, self._on_brownout_end)
 
         # Runtime invariant auditing (all state hangs off the engine, so
         # durability snapshots carry it and resumed runs keep auditing).
@@ -471,6 +519,11 @@ class ClusterEngine:
             busy=len(busy_vms),
             max_vms=self.provider.config.max_vms,
             busy_free_times=frees,
+            spot_price=(
+                self._spot_market.price_at(now)
+                if self._spot_market is not None
+                else None
+            ),
         )
 
     def _on_tick(self, sim: Simulator, event: Event) -> None:
@@ -480,6 +533,13 @@ class ClusterEngine:
         now = sim.now
         ctx = self._build_context(now)
         profile = CloudProfile.capture(self.provider, now)
+        if self._spot_market is not None:
+            price = self._spot_market.price_at(now)
+            profile = dataclasses.replace(
+                profile,
+                spot_price=price,
+                spot_price_effective=self.config.spot.effective_price(price),
+            )
         policy = self.scheduler.active_policy(
             self._tick_index, self.queue, ctx.waits, ctx.runtimes, profile
         )
@@ -506,10 +566,16 @@ class ClusterEngine:
         # Provisioning (one lease request, subject to injected faults).
         n_new = policy.new_vms(ctx)
         if n_new > 0:
-            self._provision(sim, n_new, now)
+            if self._spot_market is not None:
+                self._provision_spot(sim, policy, ctx, n_new, now)
+            else:
+                self._provision(sim, n_new, now)
 
-        # Allocation.
+        # Allocation.  VMs under a preemption notice are excluded: their
+        # grace window is closing and a job started now would just die.
         idle = self.provider.idle_vms()
+        if self._doomed:
+            idle = [vm for vm in idle if vm.vm_id not in self._doomed]
         if idle and self.queue:
             period = self.provider.billing.period
             views = [
@@ -591,42 +657,88 @@ class ClusterEngine:
         if vm.state is VMState.BOOTING:
             self.boot_failures += 1  # an instance that never became ready
         if vm.state is VMState.BUSY:
-            assert vm.job_id is not None
-            job = self._jobs_by_id[vm.job_id]
-            self.job_kills += 1
-            # The whole rigid job dies with the VM.  Work persisted by
-            # completed checkpoints survives; the rest is wasted.
-            elapsed = max(0.0, now - job.start_time)
-            saved = 0.0
-            if self.config.checkpoint is not None:
-                saved = min(self.config.checkpoint.saved_progress(elapsed), elapsed)
-                if saved > 0.0:
-                    self._progress[job.job_id] = (
-                        self._progress.get(job.job_id, 0.0) + saved
-                    )
-                    self.checkpoint_saved_cpu_seconds += job.procs * saved
-            self.wasted_cpu_seconds += job.procs * (elapsed - saved)
-            pending_finish = self._finish_events.pop(job.job_id, None)
-            if pending_finish is not None:
-                pending_finish.cancel()
-            for peer in self._vms_of_job.pop(job.job_id, []):
-                peer.release_job()
-                if peer is not vm:
-                    self._schedule_boundary(sim, peer)
-            job.start_time = -1.0
-            kills = self._kills.get(job.job_id, 0) + 1
-            self._kills[job.job_id] = kills
-            budget = self.config.max_job_retries
-            if budget is not None and kills > budget:
-                job.state = JobState.FAILED  # retry budget exhausted
-                self.jobs_failed += 1
-                self._last_terminal_time = max(self._last_terminal_time, now)
-            else:
-                job.state = JobState.QUEUED
-                self.queue.append(job)
-                if self._tick_event is None:
-                    self._tick_event = sim.schedule_at(now, EventKind.SCHEDULE_TICK)
+            self._kill_job_on_vm(sim, vm)
         self._terminate_vm(vm, now)
+
+    def _checkpoint_policy(self) -> "CheckpointPolicy | None":
+        """The checkpoint cadence in force: the run's configured policy,
+        with the interval retuned when the active spot-aware policy asks
+        for a denser one (its override must still exceed the overhead)."""
+        base = self.config.checkpoint
+        override = self._ckpt_override
+        if (
+            base is None
+            or override is None
+            or override == base.interval_seconds
+            or override <= base.overhead_seconds
+        ):
+            return base
+        return dataclasses.replace(base, interval_seconds=override)
+
+    def _kill_job_on_vm(
+        self, sim: Simulator, vm: VM, *, notice_time: float | None = None
+    ) -> None:
+        """Kill the job running on *vm*: waste/checkpoint its work and
+        requeue or fail it.  The VM itself is left to the caller (VM
+        failures terminate it; spot preemptions reclaim it).
+
+        ``notice_time`` marks a preemption kill: the grace window between
+        notice and kill is long enough for an emergency checkpoint when it
+        covers the checkpoint overhead, so work persisted then survives on
+        top of the periodic checkpoints.
+        """
+        assert vm.job_id is not None
+        job = self._jobs_by_id[vm.job_id]
+        now = sim.now
+        self.job_kills += 1
+        # The whole rigid job dies with the VM.  Work persisted by
+        # completed checkpoints survives; the rest is wasted.
+        elapsed = max(0.0, now - job.start_time)
+        saved = 0.0
+        ckpt = self._checkpoint_policy()
+        if ckpt is not None:
+            saved = min(ckpt.saved_progress(elapsed), elapsed)
+            if notice_time is not None and self.config.spot is not None:
+                grace = now - notice_time
+                if grace >= ckpt.overhead_seconds:
+                    at_notice = max(0.0, notice_time - job.start_time)
+                    emergency = min(
+                        max(0.0, at_notice - ckpt.overhead_seconds), elapsed
+                    )
+                    if emergency > saved:
+                        saved = emergency
+                        self.spot_stats.grace_checkpoints += 1
+            if saved > 0.0:
+                self._progress[job.job_id] = (
+                    self._progress.get(job.job_id, 0.0) + saved
+                )
+                self.checkpoint_saved_cpu_seconds += job.procs * saved
+        self.wasted_cpu_seconds += job.procs * (elapsed - saved)
+        if notice_time is not None:
+            self.spot_stats.preempt_saved_cpu_seconds += job.procs * saved
+            self.spot_stats.preempt_wasted_cpu_seconds += job.procs * (
+                elapsed - saved
+            )
+        pending_finish = self._finish_events.pop(job.job_id, None)
+        if pending_finish is not None:
+            pending_finish.cancel()
+        for peer in self._vms_of_job.pop(job.job_id, []):
+            peer.release_job()
+            if peer is not vm:
+                self._schedule_boundary(sim, peer)
+        job.start_time = -1.0
+        kills = self._kills.get(job.job_id, 0) + 1
+        self._kills[job.job_id] = kills
+        budget = self.config.max_job_retries
+        if budget is not None and kills > budget:
+            job.state = JobState.FAILED  # retry budget exhausted
+            self.jobs_failed += 1
+            self._last_terminal_time = max(self._last_terminal_time, now)
+        else:
+            job.state = JobState.QUEUED
+            self.queue.append(job)
+            if self._tick_event is None:
+                self._tick_event = sim.schedule_at(now, EventKind.SCHEDULE_TICK)
 
     def _remaining_runtime(self, job: Job) -> float:
         """Execution time still owed: runtime minus checkpointed progress."""
@@ -729,6 +841,209 @@ class ClusterEngine:
             )
         )
 
+    # -- hostile cloud: spot provisioning & control-plane degradation ----------
+
+    def _note_breaker(self, now: float) -> None:
+        """Emit (and count) the breaker's latest state transition, if any."""
+        breaker = self._spot_breaker
+        transition = breaker.pop_transition()
+        if transition is None:
+            return
+        if transition == breaker.OPEN:
+            self.spot_stats.breaker_opens += 1
+        elif transition == breaker.CLOSED:
+            self.spot_stats.breaker_closes += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.BREAKER, now, state=transition,
+                consecutive_failures=breaker.consecutive_failures,
+                blocked_until=breaker.blocked_until,
+            )
+
+    def _control_plane_failure(self, now: float) -> None:
+        """Book one failed control-plane call against the breaker."""
+        self._spot_breaker.record_failure(now)
+        self._note_breaker(now)
+
+    def _api_call_allowed(self, now: float) -> bool:
+        """Token-window rate limiter on lease API calls."""
+        cfg = self.config.spot
+        if cfg.api_rate_limit is None:
+            return True
+        if now - self._api_window_start >= cfg.api_rate_window_seconds:
+            self._api_window_start = now
+            self._api_window_calls = 0
+        self._api_window_calls += 1
+        return self._api_window_calls <= cfg.api_rate_limit
+
+    def _resolve_spot_plan(self, policy: CombinedPolicy,
+                           ctx: SchedContext) -> SpotPlan:
+        """This tick's spot split: the active policy's own plan when it is
+        spot-aware, otherwise the run-level defaults.  Bid enforcement
+        (deferral when the price out-runs the bid) happens in
+        :meth:`_provision_spot` so every plan is gated identically."""
+        plan_fn = getattr(policy.provisioning, "spot_plan", None)
+        if plan_fn is not None:
+            plan = plan_fn(ctx)
+        else:
+            cfg = self.config.spot
+            plan = SpotPlan(fraction=cfg.spot_fraction, bid=cfg.bid)
+        self._ckpt_override = plan.checkpoint_interval
+        return plan
+
+    def _provision_spot(self, sim: Simulator, policy: CombinedPolicy,
+                        ctx: SchedContext, requested: int, now: float) -> None:
+        """Hostile-cloud provisioning: breaker → brownout → throttle gates,
+        then a two-tier lease (spot at the current price, remainder — plus
+        any hedged spot shortfall — on-demand through :meth:`_provision`).
+        """
+        cfg = self.config.spot
+        stats = self.spot_stats
+        market = self._spot_market
+        breaker = self._spot_breaker
+
+        if not breaker.allow(now):
+            # Open breaker: no control-plane calls; demand queues.
+            stats.breaker_skips += 1
+            stats.backpressure_rounds += 1
+            return
+        self._note_breaker(now)  # possible OPEN → HALF_OPEN probe
+        if now < self._brownout_until:
+            stats.brownout_rejections += 1
+            stats.backpressure_rounds += 1
+            self._control_plane_failure(now)
+            return
+        if not self._api_call_allowed(now):
+            stats.throttled_calls += 1
+            stats.backpressure_rounds += 1
+            self._control_plane_failure(now)
+            return
+
+        plan = self._resolve_spot_plan(policy, ctx)
+        price = market.price_at(now)
+        spot_target = min(requested, int(round(requested * plan.fraction)))
+        ondemand_target = requested - spot_target
+        if spot_target > 0 and price > plan.bid:
+            # The price out-ran the bid: defer spot this tick.
+            stats.bid_deferrals += 1
+            if cfg.hedge:
+                stats.hedged_vms += spot_target
+                ondemand_target += spot_target
+            spot_target = 0
+        if spot_target > 0 and market.capacity_short(now):
+            stats.insufficient_capacity += 1
+            stats.spot_vms_denied += spot_target
+            if cfg.hedge:
+                stats.hedged_vms += spot_target
+                ondemand_target += spot_target
+            spot_target = 0
+        if spot_target > 0:
+            for vm in self.provider.lease(spot_target, now, spot=True,
+                                          price=price):
+                stats.spot_leases += 1
+                stats.spot_price_sum += price
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        trace_records.VM, now, event="lease", vm=vm.vm_id,
+                        ready=vm.ready_time, reserved=False, spot=True,
+                        price=price,
+                    )
+                sim.schedule_at(vm.ready_time, EventKind.VM_READY, vm)
+                self._arm_faults(sim, vm)
+                self._arm_preemption(sim, vm, now, plan.bid)
+        if ondemand_target > 0:
+            self._provision(sim, ondemand_target, now)
+        breaker.record_success()
+        self._note_breaker(now)  # possible HALF_OPEN → CLOSED
+
+    # -- hostile cloud: preemption lifecycle -----------------------------------
+
+    def _arm_preemption(self, sim: Simulator, vm: VM, now: float,
+                        bid: float) -> None:
+        """Draw the VM's preemption-notice time (capacity reclaim or bid
+        crossing) and schedule it; no-op for never-preempted draws."""
+        when = self._spot_market.preemption_at(now, bid)
+        if when is None:
+            return
+        self._preempt_notice_events[vm.vm_id] = sim.schedule(
+            Event(when, EventKind.VM_PREEMPT, vm,
+                  priority=int(EventKind.VM_FAIL))
+        )
+
+    def _on_vm_preempt(self, sim: Simulator, event: Event) -> None:
+        """Preemption *notice*: doom the VM (no new allocations) and start
+        the grace window; the actual reclaim fires at its end."""
+        vm: VM = event.payload
+        self._preempt_notice_events.pop(vm.vm_id, None)
+        if not vm.alive:
+            return  # already released; stale notice
+        now = sim.now
+        self.spot_stats.preempt_notices += 1
+        self._doomed.add(vm.vm_id)
+        kill_at = now + self.config.spot.grace_period_seconds
+        self._preempt_kill_events[vm.vm_id] = sim.schedule(
+            Event(kill_at, EventKind.VM_PREEMPT_KILL, (vm, now),
+                  priority=int(EventKind.VM_FAIL))
+        )
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.PREEMPT, now, event="notice", vm=vm.vm_id,
+                job=vm.job_id, kill_at=kill_at,
+            )
+
+    def _on_vm_preempt_kill(self, sim: Simulator, event: Event) -> None:
+        """End of the grace window: the provider reclaims the VM.  A job
+        still running dies (its checkpointed progress — periodic plus any
+        emergency grace checkpoint — survives and it requeues); billing is
+        spot-style (completed periods only)."""
+        vm, notice_time = event.payload
+        self._preempt_kill_events.pop(vm.vm_id, None)
+        if not vm.alive:
+            self._doomed.discard(vm.vm_id)
+            return  # released during the grace window
+        now = sim.now
+        self.spot_stats.preemptions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.PREEMPT, now, event="kill", vm=vm.vm_id,
+                job=vm.job_id, state=vm.state.name,
+            )
+        if vm.state is VMState.BUSY:
+            self.spot_stats.preempted_job_kills += 1
+            self._kill_job_on_vm(sim, vm, notice_time=notice_time)
+        self._cancel_boundary(vm)
+        self._cancel_failure(vm)
+        self._doomed.discard(vm.vm_id)
+        self.provider.preempt(vm, now)
+
+    # -- hostile cloud: control-plane brownouts --------------------------------
+
+    def _on_brownout_start(self, sim: Simulator, event: Event) -> None:
+        if self._finished + self.jobs_failed >= len(self.jobs):
+            return  # workload drained; let the brownout chain die out
+        market = self._spot_market
+        assert market is not None
+        now = sim.now
+        duration = market.brownout_duration()
+        self._brownout_until = now + duration
+        self.spot_stats.brownouts += 1
+        self.spot_stats.brownout_seconds += duration
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_records.BROWNOUT, now, event="start",
+                until=self._brownout_until,
+            )
+        sim.schedule_at(self._brownout_until, EventKind.BROWNOUT_END)
+
+    def _on_brownout_end(self, sim: Simulator, event: Event) -> None:
+        market = self._spot_market
+        assert market is not None
+        if self.tracer is not None:
+            self.tracer.emit(trace_records.BROWNOUT, sim.now, event="end")
+        sim.schedule_at(
+            sim.now + market.next_brownout_in(), EventKind.BROWNOUT_START
+        )
+
     def _on_job_finish(self, sim: Simulator, event: Event) -> None:
         job: Job = event.payload
         self._finish_events.pop(job.job_id, None)
@@ -792,6 +1107,8 @@ class ClusterEngine:
         under short MTBFs."""
         self._cancel_boundary(vm)
         self._cancel_failure(vm)
+        if self._spot_market is not None:
+            self._cancel_preempt(vm)
         self.provider.terminate(vm, now)
 
     def _schedule_boundary(self, sim: Simulator, vm: VM) -> None:
@@ -810,6 +1127,15 @@ class ClusterEngine:
         pending = self._failure_events.pop(vm.vm_id, None)
         if pending is not None:
             pending.cancel()
+
+    def _cancel_preempt(self, vm: VM) -> None:
+        """Drop any pending preemption notice/kill for a VM leaving the
+        fleet through another path (release, failure, end of run)."""
+        for events in (self._preempt_notice_events, self._preempt_kill_events):
+            pending = events.pop(vm.vm_id, None)
+            if pending is not None:
+                pending.cancel()
+        self._doomed.discard(vm.vm_id)
 
     # -- running ----------------------------------------------------------------
 
@@ -850,6 +1176,10 @@ class ClusterEngine:
                     EventKind.OUTAGE_START,
                     priority=int(EventKind.VM_FAIL),
                 )
+            )
+        if self._spot_market is not None and self.config.spot.brownouts_enabled:
+            self.sim.schedule_at(
+                self._spot_market.next_brownout_in(), EventKind.BROWNOUT_START
             )
 
         horizon = self.config.max_sim_time
@@ -922,11 +1252,14 @@ class ClusterEngine:
         else:
             end = self.sim.now
         self.provider.terminate_all(end)
+        # Reserved settlements read the discount from the provider config
+        # (which __init__ rebased to the engine-level value), so the two
+        # call sites below cannot disagree on reserved pricing.
         if self.config.reserved_vms:
-            self.provider.finalize_reserved(end, self.config.reserved_discount)
+            self.provider.finalize_reserved(end)
         # Stalled runs leave BUSY VMs behind; settle their charges too, or
         # RV under-reports exactly the runs it should penalise.
-        self.provider.settle_stragglers(end, self.config.reserved_discount)
+        self.provider.settle_stragglers(end)
         unfinished = len(self.jobs) - done
         stats = ResilienceStats(
             vm_failures=self.failures,
@@ -956,6 +1289,9 @@ class ClusterEngine:
             audit_report = self.audit.finalize_audit(
                 self, metrics, engine_utility, end
             )
+        spot_stats = self.spot_stats
+        if spot_stats is not None:
+            spot_stats.spot_charged_seconds = self.provider.spot_charged_seconds
         is_portfolio = isinstance(self.scheduler, PortfolioScheduler)
         invocations = self.scheduler.invocations if is_portfolio else 0
         wall = (
@@ -1006,6 +1342,7 @@ class ClusterEngine:
             audit=audit_report,
             profile=profile_summary,
             trace=trace_summary,
+            spot=spot_stats,
         )
 
     def run(self) -> ExperimentResult:

@@ -77,6 +77,11 @@ def result_to_dict(result: ExperimentResult, include_records: bool = False) -> d
     recovery = getattr(result, "recovery", None)
     if recovery is not None:
         out["recovery"] = recovery
+    # Hostile-cloud counters export only when a spot market was
+    # configured; cooperative-cloud exports carry no "spot" key at all.
+    spot = getattr(result, "spot", None)
+    if spot is not None:
+        out["spot"] = spot.to_dict()
     if include_records:
         out["records"] = [
             {

@@ -30,6 +30,17 @@ Record kinds
 ``failover``
     The portfolio scheduler hit its quarantine cap and permanently
     switched to its safe policy.
+``preempt``
+    Spot preemption lifecycle (hostile-cloud extension): ``event`` is
+    ``notice`` (grace window opens; carries ``kill_at``) or ``kill``
+    (the provider reclaims the VM; carries its state and job).
+``brownout``
+    Control-plane brownout window: ``event`` is ``start`` (with
+    ``until``) or ``end``.
+``breaker``
+    Provisioning circuit-breaker transition: ``state`` is ``open`` /
+    ``half_open`` / ``closed``, with the consecutive-failure count and
+    the cooldown deadline.
 ``profile``
     Final span statistics (present when profiling was on).
 ``run_end``
@@ -43,7 +54,8 @@ meaning.
 from __future__ import annotations
 
 __all__ = ["TRACE_SCHEMA", "ROUND", "RUN_START", "RUN_END", "VM", "CHARGE",
-           "FAILOVER", "PROFILE", "RECORD_KINDS"]
+           "FAILOVER", "PROFILE", "PREEMPT", "BROWNOUT", "BREAKER",
+           "RECORD_KINDS"]
 
 #: Bump only when the meaning of existing fields changes; adding fields
 #: or kinds is backward compatible by construction.
@@ -56,5 +68,9 @@ CHARGE = "charge"
 FAILOVER = "failover"
 PROFILE = "profile"
 RUN_END = "run_end"
+PREEMPT = "preempt"
+BROWNOUT = "brownout"
+BREAKER = "breaker"
 
-RECORD_KINDS = (RUN_START, ROUND, VM, CHARGE, FAILOVER, PROFILE, RUN_END)
+RECORD_KINDS = (RUN_START, ROUND, VM, CHARGE, FAILOVER, PROFILE, RUN_END,
+                PREEMPT, BROWNOUT, BREAKER)

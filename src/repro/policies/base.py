@@ -54,6 +54,10 @@ class SchedContext:
         of its job plus the job's runtime estimate.  Only policies that
         plan ahead (EASY backfilling) need it; plain portfolio policies
         ignore it, and engines may pass ``None``.
+    spot_price:
+        Current spot price as a fraction of the on-demand rate, or
+        ``None`` when no spot market is configured (the paper's
+        cooperative cloud).  Only spot-aware policies read it.
     """
 
     now: float
@@ -65,6 +69,7 @@ class SchedContext:
     busy: int
     max_vms: int
     busy_free_times: Sequence[float] | None = None
+    spot_price: float | None = None
 
     def headroom(self) -> int:
         """How many new VMs the cap still allows."""

@@ -111,9 +111,14 @@ def build_portfolio() -> list[CombinedPolicy]:
 def policy_by_name(name: str) -> CombinedPolicy:
     """Look up one portfolio member, e.g. ``policy_by_name("ODX-UNICEF-FirstFit")``.
 
-    Raises ``KeyError`` with the list of valid names on a miss.
+    Also resolves the spot-aware additions (``ODA-S35-FCFS-FirstFit``,
+    ...); raises ``KeyError`` with the list of valid names on a miss.
     """
-    for policy in build_portfolio():
+    # Lazy import: spot_aware builds CombinedPolicy instances, so a
+    # top-level import would be circular.
+    from repro.policies.spot_aware import spot_portfolio_members
+
+    for policy in build_portfolio() + spot_portfolio_members():
         if policy.name == name:
             return policy
     valid = ", ".join(p.name for p in build_portfolio()[:6])

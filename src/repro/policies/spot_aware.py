@@ -1,0 +1,146 @@
+"""Preemption-aware portfolio members (hostile-cloud extension).
+
+The paper's 60 policies are price-takers: capacity is on-demand at a
+fixed rate, so provisioning only weighs demand.  Against a spot market
+the interesting axis is *how much preemption risk to buy*: a low bid
+rides cheap capacity but defers under price spikes and gets preempted at
+bid crossings; a high bid behaves almost like on-demand.  This module
+adds :class:`SpotBidProvisioning` — a wrapper that gives any base
+provisioning policy a bid, a spot fraction, and optionally a tuned
+checkpoint interval — plus the handful of portfolio members built from
+it.  Algorithm 1's Smart/Stale/Poor machinery arbitrates them like any
+other member; the online simulator prices their projected VM hours with
+:func:`rv_spot_factor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policies.base import ProvisioningPolicy, SchedContext
+from repro.policies.combined import CombinedPolicy
+from repro.policies.job_selection import JOB_SELECTION_POLICIES
+from repro.policies.provisioning import ODA, ODX
+from repro.policies.vm_selection import VM_SELECTION_POLICIES
+
+__all__ = [
+    "SpotPlan",
+    "SpotBidProvisioning",
+    "rv_spot_factor",
+    "spot_portfolio_members",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class SpotPlan:
+    """One tick's spot-provisioning intent, resolved by the engine.
+
+    ``fraction`` of the tick's new VMs go to the spot tier at up to
+    ``bid`` × the on-demand rate (0 ⇒ all on-demand this tick);
+    ``checkpoint_interval`` overrides the run's checkpoint cadence while
+    this plan is active (``None`` keeps the configured interval).
+    """
+
+    fraction: float
+    bid: float
+    checkpoint_interval: float | None = None
+
+
+class SpotBidProvisioning(ProvisioningPolicy):
+    """Wrap a base provisioning policy with a spot bid.
+
+    Demand sizing delegates to ``base`` unchanged — the wrapper only
+    decides *which tier* supplies it: while the spot price is at or
+    under ``bid``, ``fraction`` of new VMs are requested as spot; when
+    the price out-runs the bid the plan's fraction drops to 0 and the
+    engine (if hedging) falls back to on-demand.  ``checkpoint_interval``
+    lets high-risk (low-bid) members checkpoint more densely than the
+    run default — the checkpoint-interval-tuning axis of the portfolio.
+    """
+
+    def __init__(
+        self,
+        base: ProvisioningPolicy,
+        bid: float,
+        fraction: float = 1.0,
+        checkpoint_interval: float | None = None,
+    ) -> None:
+        if not 0.0 < bid <= 1.0:
+            raise ValueError(f"bid must lie in (0, 1], got {bid}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        self.base = base
+        self.bid = bid
+        self.fraction = fraction
+        self.checkpoint_interval = checkpoint_interval
+        suffix = f"S{int(round(bid * 100)):02d}"
+        if checkpoint_interval is not None:
+            suffix += "C"
+        self.name = f"{base.name}-{suffix}"
+
+    def new_vms(self, ctx: SchedContext) -> int:
+        return self.base.new_vms(ctx)
+
+    def keep_idle_vm(self, ctx: SchedContext, remaining_paid: float) -> bool:
+        return self.base.keep_idle_vm(ctx, remaining_paid)
+
+    def spot_plan(self, ctx: SchedContext) -> SpotPlan:
+        """The tier split this member wants; the engine's bid gate defers
+        (and counts) the spot share whenever the price out-runs ``bid``."""
+        return SpotPlan(
+            fraction=self.fraction,
+            bid=self.bid,
+            checkpoint_interval=self.checkpoint_interval,
+        )
+
+
+def rv_spot_factor(
+    policy: ProvisioningPolicy,
+    spot_price: float | None,
+    spot_price_effective: float | None,
+) -> float:
+    """Discount factor the online simulator applies to *newly leased*
+    VM cost when scoring *policy* against a spot snapshot.
+
+    A spot-aware member buying ``fraction`` of its capacity at the
+    (risk-adjusted) effective price pays
+    ``(1 - fraction) + fraction × effective`` per projected on-demand
+    VM-second; price-taker members, and any member whose bid the current
+    price exceeds, pay full rate (factor 1.0, arithmetic no-op).
+    """
+    if spot_price is None:
+        return 1.0
+    plan = getattr(policy, "spot_plan", None)
+    if plan is None:
+        return 1.0
+    effective = spot_price_effective if spot_price_effective is not None else spot_price
+    bid = getattr(policy, "bid", 1.0)
+    fraction = getattr(policy, "fraction", 0.0)
+    if spot_price > bid:
+        fraction = 0.0
+    return (1.0 - fraction) + fraction * min(1.0, effective)
+
+
+def spot_portfolio_members() -> list[CombinedPolicy]:
+    """The preemption-aware additions to the 60-member portfolio.
+
+    Six members spanning the risk axis — two base demand shapes (ODA
+    aggressive, ODX slowdown-gated) × three risk stances: a cheap low
+    bid, the same low bid with dense checkpoints, and a near-on-demand
+    high bid.  FCFS job selection and FirstFit VM selection keep the
+    additions orthogonal to the existing job/VM-selection axes.
+    """
+    fcfs = JOB_SELECTION_POLICIES[0]
+    firstfit = next(v for v in VM_SELECTION_POLICIES if v.name == "FirstFit")
+    members = []
+    for base in (ODA(), ODX()):
+        for bid, ckpt in ((0.35, None), (0.35, 900.0), (0.90, None)):
+            prov = SpotBidProvisioning(
+                base, bid=bid, fraction=1.0, checkpoint_interval=ckpt
+            )
+            members.append(CombinedPolicy(prov, fcfs, firstfit))
+    return members

@@ -50,6 +50,7 @@ class ResilienceStats:
             or self.lease_rejections
             or self.vms_denied
             or self.outages
+            or self.job_kills
             or self.jobs_failed
         )
 

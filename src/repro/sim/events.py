@@ -73,6 +73,17 @@ class EventKind(enum.IntEnum):
     #: and keeps its default late ordering.
     OUTAGE_START = 7
     OUTAGE_END = 8
+    #: Spot-market lifecycle (hostile-cloud extension).  VM_PREEMPT is the
+    #: provider's preemption *notice* (grace window opens); VM_PREEMPT_KILL
+    #: is the actual reclaim at the end of the grace window.  Both are
+    #: scheduled with an explicit VM_FAIL priority so same-instant kills
+    #: land before boots/arrivals/ticks, like outages.
+    VM_PREEMPT = 9
+    VM_PREEMPT_KILL = 10
+    #: Control-plane brownout windows: while one is open, every lease call
+    #: fails.  Same priority convention as outages.
+    BROWNOUT_START = 11
+    BROWNOUT_END = 12
 
 
 @dataclass(slots=True)

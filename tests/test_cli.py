@@ -48,6 +48,19 @@ class TestArgValidation:
         ["run", "--model", "DAS2-fs0", "--system-procs", "0"],
         ["run", "--model", "DAS2-fs0", "--quarantine-limit", "0"],
         ["run", "--model", "DAS2-fs0", "--audit", "loud"],
+        ["run", "--model", "DAS2-fs0", "--spot-fraction", "1.5"],
+        ["run", "--model", "DAS2-fs0", "--spot-fraction", "-0.1"],
+        ["run", "--model", "DAS2-fs0", "--preempt-rate", "-1"],
+        ["run", "--model", "DAS2-fs0", "--spot-price", "1.2"],
+        ["run", "--model", "DAS2-fs0", "--spot-bid", "2"],
+        ["run", "--model", "DAS2-fs0", "--preempt-grace", "-60"],
+        ["run", "--model", "DAS2-fs0", "--capacity-shortage-rate", "1.1"],
+        ["run", "--model", "DAS2-fs0", "--brownout", "-4"],
+        ["run", "--model", "DAS2-fs0", "--brownout-duration", "0"],
+        ["run", "--model", "DAS2-fs0", "--api-rate-limit", "0"],
+        ["run", "--model", "DAS2-fs0", "--api-rate-window", "0"],
+        ["run", "--model", "DAS2-fs0", "--breaker-threshold", "0"],
+        ["run", "--model", "DAS2-fs0", "--breaker-cooldown", "-300"],
     ])
     def test_rejected_at_parse_time(self, argv, capsys):
         with pytest.raises(SystemExit) as exc_info:
@@ -75,6 +88,38 @@ class TestArgValidation:
         args = build_parser().parse_args(["run", "--model", "DAS2-fs0"])
         assert args.audit is None
         assert args.audit_report is False
+
+    def test_spot_knobs_parse_and_default_off(self):
+        from repro.cli import _spot_config
+
+        args = build_parser().parse_args(["run", "--model", "DAS2-fs0"])
+        assert args.spot_fraction == 0.0
+        assert _spot_config(args) is None  # cooperative cloud by default
+        args = build_parser().parse_args([
+            "run", "--model", "DAS2-fs0", "--spot-fraction", "0.5",
+            "--preempt-rate", "0.2", "--spot-bid", "0.35",
+            "--brownout", "4", "--api-rate-limit", "50", "--no-hedge",
+            "--seed", "11",
+        ])
+        cfg = _spot_config(args)
+        assert cfg is not None
+        assert cfg.seed == 11
+        assert cfg.spot_fraction == 0.5
+        assert cfg.preempt_rate_per_hour == 0.2
+        assert cfg.bid == 0.35
+        assert cfg.brownout_mtbb_seconds == pytest.approx(86_400.0 / 4)
+        assert cfg.api_rate_limit == 50
+        assert not cfg.hedge
+
+    def test_brownout_alone_activates_the_layer(self):
+        from repro.cli import _spot_config
+
+        args = build_parser().parse_args([
+            "run", "--model", "DAS2-fs0", "--brownout", "2",
+        ])
+        cfg = _spot_config(args)
+        assert cfg is not None and cfg.spot_fraction == 0.0
+        assert cfg.brownouts_enabled
 
 
 class TestAuditFlag:
@@ -142,6 +187,38 @@ class TestRunCommand:
             "run", "--model", "LPC-EGEE", "--hours", "2", "--seed", "5",
             "--policy", "ODX-LXF-FirstFit", "--predictor", "knn",
         ]) == 0
+
+    def test_spot_run_exports_counters(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "spot.json"
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "3", "--seed", "29",
+            "--policy", "ODA-UNICEF-FirstFit",
+            "--spot-fraction", "1.0", "--preempt-rate", "2.0",
+            "--checkpoint-interval", "300", "--audit", "strict",
+            "--export-json", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spot market" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["spot"]["spot_leases"] > 0
+        assert payload["spot"]["preemptions"] > 0
+        assert payload["resilience"]["jobs_failed"] == 0
+
+    def test_spot_policies_flag_extends_the_portfolio(self, capsys):
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "1", "--seed", "5",
+            "--spot-fraction", "0.5", "--spot-policies",
+        ]) == 0
+        assert "portfolio(n=66" in capsys.readouterr().out
+
+    def test_fixed_spot_member_runs_without_the_flag(self, capsys):
+        assert main([
+            "run", "--model", "DAS2-fs0", "--hours", "2", "--seed", "5",
+            "--policy", "ODA-S35-FCFS-FirstFit", "--spot-fraction", "0.5",
+        ]) == 0
+        assert "ODA-S35-FCFS-FirstFit" in capsys.readouterr().out
 
 
 class TestPoliciesCommand:

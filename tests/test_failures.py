@@ -40,6 +40,19 @@ class TestModel:
             b.time_to_failure() for _ in range(5)
         ]
 
+    def test_distinct_seeds_diverge(self):
+        a = FailureModel(mtbf_seconds=100.0, seed=3).sampler()
+        b = FailureModel(mtbf_seconds=100.0, seed=4).sampler()
+        assert [a.time_to_failure() for _ in range(5)] != [
+            b.time_to_failure() for _ in range(5)
+        ]
+
+    def test_draws_are_positive_and_finite(self):
+        sampler = FailureModel(mtbf_seconds=50.0, seed=9).sampler()
+        for _ in range(1_000):
+            ttf = sampler.time_to_failure()
+            assert 0.0 < ttf < float("inf")
+
 
 class TestEngineWithFailures:
     def test_no_failures_with_huge_mtbf(self):

@@ -87,6 +87,34 @@ class TestRetryState:
         state.record_failure(100.0, policy, rng)
         assert state.attempts == 0  # chain exhausted; next demand is fresh
 
+    def test_unblocks_exactly_at_the_deadline(self):
+        """blocked() is strictly `now < blocked_until`: at the deadline the
+        operation may go again (the breaker's half-open probe relies on
+        this boundary being admit-at-deadline)."""
+        policy = RetryPolicy(base_delay=5.0, max_delay=50.0)
+        state = RetryState()
+        state.record_failure(10.0, policy, make_rng(0, "retry"))
+        deadline = state.blocked_until
+        assert state.blocked(deadline - 1e-9)
+        assert not state.blocked(deadline)
+        assert not state.blocked(deadline + 1e-9)
+
+    def test_success_after_failures_resets_the_backoff_base(self):
+        policy = RetryPolicy(base_delay=5.0, max_delay=50.0, max_attempts=10)
+        rng = make_rng(0, "retry")
+        state = RetryState()
+        for t in (0.0, 100.0, 200.0):
+            state.record_failure(t, policy, rng)
+        assert state.prev_delay > 0.0
+        state.record_success()
+        assert state.attempts == 0
+        assert state.prev_delay == 0.0
+        assert state.blocked_until == -1.0
+        # the next failure chain re-anchors at the base delay, not at
+        # the escalated pre-success backoff
+        delay = state.record_failure(300.0, policy, rng)
+        assert delay == policy.base_delay
+
 
 class TestCheckpointPolicy:
     def test_validation(self):
