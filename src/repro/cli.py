@@ -16,7 +16,17 @@ Four subcommands cover the common workflows without writing Python:
   the snapshot/tracer/cache/pool write paths, ``chaos soak`` loops
   kill → corrupt → resume cycles under strict audit and diffs the final
   export against an unfaulted reference,
+* ``repro service`` — the long-running multi-tenant scheduler service:
+  ``service run`` serves the unix-socket API until drained, ``service
+  loadgen`` replays seeded synthetic tenants against it (and can spawn
+  its own service), ``service replay`` reconstructs the canonical state
+  from a journal,
+* ``repro doctor`` — environment sanity checks (writable dirs, fsync,
+  spawn pool, unix sockets, free space) with one-line verdicts,
 * ``repro policies`` — list the 60 portfolio members.
+
+Exit codes are centralised in :mod:`repro.exit_codes` (README has the
+table).
 
 Invoke as ``python -m repro ...``.
 """
@@ -24,10 +34,20 @@ Invoke as ``python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import os
+import signal as _signal_mod
 import sys
 from typing import Sequence
 
+from repro.exit_codes import (
+    EX_AUDIT_VIOLATION,
+    EX_FAILURE,
+    EX_OK,
+    EX_USAGE,
+    signal_exit,
+)
 from repro.experiments.engine import EngineConfig
 from repro.metrics.report import format_table
 from repro.parallel.campaign import CAMPAIGN_FIGURES
@@ -74,6 +94,26 @@ def _positive_float(text: str) -> float:
 
 def _nonneg_float(text: str) -> float:
     value = _number(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
@@ -410,6 +450,105 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--width", type=_positive_int, default=60,
                           metavar="CHARS", help="sparkline width")
 
+    p_service = sub.add_parser(
+        "service",
+        help="the long-running multi-tenant scheduler service "
+        "(journaled admissions, crash-consistent replay, graceful drain)",
+    )
+    service_sub = p_service.add_subparsers(dest="service_command", required=True)
+
+    def service_state_flags(p: argparse.ArgumentParser) -> None:
+        """Flags that shape the deterministic state machine — ``service
+        replay`` must be invoked with the same values the server used."""
+        p.add_argument("--max-vms", type=_positive_int, default=64,
+                       help="shared provider cap all tenants compete under")
+        p.add_argument("--round-step", type=_positive_float, default=20.0,
+                       metavar="SECONDS",
+                       help="virtual seconds per engine round (paper tick)")
+        p.add_argument("--scheduler", default="portfolio",
+                       help="'portfolio' (Algorithm 1 per tenant) or a fixed "
+                       "policy name like ODX-UNICEF-FirstFit")
+        p.add_argument("--selection-period", type=_positive_int, default=4,
+                       metavar="ROUNDS", help="portfolio re-selection period")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-queued", type=_positive_int, default=None,
+                       metavar="N", help="default tenant queue-depth budget")
+        p.add_argument("--rate", type=_positive_float, default=None,
+                       metavar="PER_ROUND",
+                       help="default tenant token-bucket refill per round")
+        p.add_argument("--burst", type=_positive_float, default=None,
+                       metavar="N", help="default tenant token-bucket burst")
+        p.add_argument("--vm-hours", type=_positive_float, default=None,
+                       metavar="H", help="default tenant VM-hour budget "
+                       "(charged at admission; default unlimited)")
+
+    p_srun = service_sub.add_parser(
+        "run", help="serve the unix-socket API until drained "
+        "(SIGTERM/SIGINT or an API drain request; exits 4, or 5 with the "
+        "kill switch engaged)",
+    )
+    p_srun.add_argument("--socket", required=True, metavar="PATH",
+                        help="unix socket to listen on")
+    p_srun.add_argument("--journal-dir", required=True, metavar="DIR",
+                        help="append-only service journal (replayed on start)")
+    p_srun.add_argument("--snapshot-dir", metavar="DIR",
+                        help="snapshot store for fast restart (level 1 of "
+                        "the recovery ladder)")
+    p_srun.add_argument("--snapshot-every-rounds", type=_positive_int,
+                        metavar="N", help="snapshot cadence, in rounds")
+    p_srun.add_argument("--round-interval", type=_nonneg_float, default=0.5,
+                        metavar="SECONDS",
+                        help="wall seconds between automatic rounds "
+                        "(0: rounds only on explicit {'op': 'round'})")
+    p_srun.add_argument("--kill-switch", metavar="PATH",
+                        help="while this file exists, provisioning halts "
+                        "(admissions continue; journaled on toggle)")
+    p_srun.add_argument("--max-tenants", type=_positive_int, default=1024)
+    service_state_flags(p_srun)
+
+    p_sload = service_sub.add_parser(
+        "loadgen", help="replay seeded synthetic tenants against a service "
+        "and report sustained submissions/sec and the shed breakdown",
+    )
+    target = p_sload.add_mutually_exclusive_group(required=True)
+    target.add_argument("--socket", metavar="PATH",
+                        help="socket of an already-running service")
+    target.add_argument("--spawn", action="store_true",
+                        help="spawn a private service child for the run "
+                        "(drained afterwards)")
+    p_sload.add_argument("--tenants", type=_positive_int, default=50)
+    p_sload.add_argument("--jobs-per-tenant", type=_positive_int, default=20)
+    p_sload.add_argument("--rounds-every", type=_nonneg_int, default=100,
+                         metavar="N",
+                         help="interleave one engine round per N submissions "
+                         "(0: leave pacing to the service timer)")
+    p_sload.add_argument("--hot", type=_nonneg_int, default=0, metavar="N",
+                         help="first N tenants submit 4x the jobs "
+                         "(the overload scenario)")
+    p_sload.add_argument("--out", metavar="PATH",
+                         help="write the report as JSON (BENCH_service.json)")
+    service_state_flags(p_sload)
+
+    p_sreplay = service_sub.add_parser(
+        "replay", help="reconstruct the canonical service state from a "
+        "journal (give the same state flags the server ran with)",
+    )
+    p_sreplay.add_argument("--journal-dir", required=True, metavar="DIR")
+    p_sreplay.add_argument("--out", metavar="PATH",
+                           help="write the state as JSON instead of stdout")
+    service_state_flags(p_sreplay)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="check this environment can host durable runs and "
+        "the service (writable dirs, fsync, spawn pool, unix sockets)",
+    )
+    p_doctor.add_argument("--dir", metavar="PATH",
+                          help="directory to probe (default: the temp dir); "
+                          "point it at your journal/snapshot location")
+    p_doctor.add_argument("--no-pool", action="store_true",
+                          help="skip the spawn-context worker pool check "
+                          "(slowest probe)")
+
     sub.add_parser("policies", help="list the 60 portfolio policies")
     return parser
 
@@ -425,14 +564,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     jobs = generate_trace(spec, duration, args.seed)
     if not jobs:
         print("trace is empty at this duration/seed", file=sys.stderr)
-        return 1
+        return EX_FAILURE
     summary = summarize_trace(spec.name, jobs, spec.system_procs, span=duration)
     print(format_table([summary.row()], title=f"{spec.name} — {args.hours:g} h"))
     if args.swf_out:
         with open(args.swf_out, "w", encoding="utf-8") as fh:
             write_swf(jobs, fh, header=f"synthetic {spec.name} trace, seed {args.seed}")
         print(f"wrote {len(jobs)} jobs to {args.swf_out}")
-    return 0
+    return EX_OK
 
 
 def _load_jobs(args: argparse.Namespace) -> list[Job]:
@@ -546,7 +685,7 @@ def _build_engine(args: argparse.Namespace):
 
     jobs = _load_jobs(args)
     if not jobs:
-        raise SystemExit2("no jobs to run", 1)
+        raise SystemExit2("no jobs to run", EX_FAILURE)
     audit_kwargs: dict = {}
     if args.audit is not None:
         from repro.audit import AuditConfig
@@ -590,12 +729,12 @@ def _build_engine(args: argparse.Namespace):
                 **portfolio_kwargs,
             )
         except KeyError as exc:
-            raise SystemExit2(exc.args[0], 2) from exc
+            raise SystemExit2(exc.args[0], EX_USAGE) from exc
     else:
         try:
             scheduler = FixedScheduler(policy_by_name(args.policy))
         except KeyError as exc:
-            raise SystemExit2(exc.args[0], 2) from exc
+            raise SystemExit2(exc.args[0], EX_USAGE) from exc
     return ClusterEngine(jobs, scheduler, predictor, config)
 
 
@@ -606,7 +745,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     snap_cfg = _snapshot_config(args)
     if args.resume and snap_cfg is None:
         print("--resume requires --snapshot-dir", file=sys.stderr)
-        return 2
+        return EX_USAGE
     try:
         if args.resume:
             runner = DurableRunner.resume(snap_cfg)
@@ -624,17 +763,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return exc.code
     except InvariantViolation as exc:
         print(f"audit: {exc}", file=sys.stderr)
-        return 3
+        return EX_AUDIT_VIOLATION
     except SnapshotError as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return EX_USAGE
     except RunInterrupted as exc:
         print(str(exc), file=sys.stderr)
         print(
             f"resume with: repro run --resume --snapshot-dir {args.snapshot_dir}",
             file=sys.stderr,
         )
-        return 128 + exc.signum
+        return signal_exit(exc.signum)
 
     recovery = getattr(runner, "recovery", None) if runner is not None else None
     if recovery is not None and recovery.fallback:
@@ -711,7 +850,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         dump_result_json(result, args.export_json)
         print(f"wrote {args.export_json}")
-    return 0
+    return EX_OK
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
@@ -721,7 +860,7 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         trace = read_trace(args.trace)
     except TraceReadError as exc:
         print(str(exc), file=sys.stderr)
-        return 1
+        return EX_FAILURE
     print(
         render_trace_report(
             trace,
@@ -731,7 +870,7 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
             width=args.width,
         )
     )
-    return 0
+    return EX_OK
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -739,7 +878,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     module.main()
-    return 0
+    return EX_OK
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -783,7 +922,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         outcomes = campaign.run()
     except CampaignError as exc:
         print(str(exc), file=sys.stderr)
-        return 1
+        return EX_FAILURE
     except KeyboardInterrupt:
         if args.cell_cache:
             print(
@@ -793,7 +932,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
         else:
             print("interrupted", file=sys.stderr)
-        return 130
+        return signal_exit(_signal_mod.SIGINT)
     install_results(outcomes)
     rows = comparison_rows(predictor=predictor, scale=scale, traces=traces)
     print(
@@ -819,7 +958,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             fh.write("\n")
         print(f"wrote {args.export_json}")
-    return 0
+    return EX_OK
 
 
 def _chaos_plan(args: argparse.Namespace):
@@ -831,7 +970,7 @@ def _chaos_plan(args: argparse.Namespace):
     try:
         plan = FaultPlan.load(args.plan) if args.plan else FaultPlan()
     except ValueError as exc:
-        raise SystemExit2(str(exc), 2) from exc
+        raise SystemExit2(str(exc), EX_USAGE) from exc
     if args.chaos_seed is not None:
         plan = dataclasses.replace(plan, seed=args.chaos_seed)
     return plan
@@ -880,8 +1019,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not report.ok:
             print("soak FAILED: faulted run diverged from the unfaulted "
                   "reference", file=sys.stderr)
-            return 1
-        return 0
+            return EX_FAILURE
+        return EX_OK
 
     # chaos run: one strictly audited run with the plan installed.
     spec = soak_mod.SoakSpec(
@@ -907,7 +1046,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # An injected (or genuine) environment fault escaped a
         # non-degradable path, e.g. a snapshot write.
         print(f"run failed under environment fault: {exc}", file=sys.stderr)
-        return 1
+        return EX_FAILURE
     m = result.metrics
     print(format_table(
         [{
@@ -933,13 +1072,166 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.export_json}")
-    return 0
+    return EX_OK
 
 
 def _cmd_policies(_: argparse.Namespace) -> int:
     for policy in build_portfolio():
         print(policy.name)
-    return 0
+    return EX_OK
+
+
+def _service_budget(args: argparse.Namespace):
+    """Default :class:`~repro.service.config.TenantBudget` from CLI flags."""
+    from repro.service.config import DEFAULT_BUDGET, TenantBudget
+
+    if (args.max_queued, args.rate, args.burst, args.vm_hours) == (None,) * 4:
+        return DEFAULT_BUDGET
+    return TenantBudget(
+        max_queued_jobs=(
+            args.max_queued if args.max_queued is not None
+            else DEFAULT_BUDGET.max_queued_jobs
+        ),
+        max_vm_hours=(
+            args.vm_hours if args.vm_hours is not None
+            else DEFAULT_BUDGET.max_vm_hours
+        ),
+        rate_per_round=(
+            args.rate if args.rate is not None else DEFAULT_BUDGET.rate_per_round
+        ),
+        burst=args.burst if args.burst is not None else DEFAULT_BUDGET.burst,
+    )
+
+
+def _service_config(args: argparse.Namespace, socket_path: str, journal_dir: str):
+    from repro.service.config import ServiceConfig
+
+    return ServiceConfig(
+        socket_path=socket_path,
+        journal_dir=journal_dir,
+        snapshot_dir=getattr(args, "snapshot_dir", None),
+        max_total_vms=args.max_vms,
+        round_virtual_step=args.round_step,
+        round_interval=getattr(args, "round_interval", 0.0),
+        scheduler=args.scheduler,
+        selection_period=args.selection_period,
+        seed=args.seed,
+        snapshot_every_rounds=getattr(args, "snapshot_every_rounds", None),
+        kill_switch_path=getattr(args, "kill_switch", None),
+        max_tenants=getattr(args, "max_tenants", 1024),
+        default_budget=_service_budget(args),
+    )
+
+
+def _cmd_service_run(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+
+    return run_service(_service_config(args, args.socket, args.journal_dir))
+
+
+def _cmd_service_loadgen(args: argparse.Namespace) -> int:
+    import subprocess
+    import sys as _sys
+    import tempfile
+
+    from repro.service.loadgen import ServiceClient, run_loadgen
+
+    budget = _service_budget(args).to_dict()
+
+    def drive(socket_path: str) -> dict:
+        return run_loadgen(
+            socket_path,
+            tenants=args.tenants,
+            jobs_per_tenant=args.jobs_per_tenant,
+            seed=args.seed,
+            rounds_every=args.rounds_every,
+            hot=args.hot,
+            budget=budget,
+        )
+
+    if args.spawn:
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as scratch:
+            socket_path = os.path.join(scratch, "service.sock")
+            child = subprocess.Popen(
+                [
+                    _sys.executable, "-m", "repro", "service", "run",
+                    "--socket", socket_path,
+                    "--journal-dir", os.path.join(scratch, "journal"),
+                    "--round-interval", "0",
+                    "--max-vms", str(args.max_vms),
+                    "--round-step", str(args.round_step),
+                    "--scheduler", args.scheduler,
+                    "--selection-period", str(args.selection_period),
+                    "--seed", str(args.seed),
+                ],
+            )
+            try:
+                report = drive(socket_path)
+            finally:
+                drainer = ServiceClient(socket_path)
+                try:
+                    drainer.connect(retries=5)
+                    drainer.drain()
+                except (OSError, ConnectionError):
+                    child.terminate()
+                finally:
+                    drainer.close()
+                child.wait(timeout=30.0)
+            report["service_exit_code"] = child.returncode
+    else:
+        report = drive(args.socket)
+
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+        print(
+            f"submitted={report['submitted']} accepted={report['accepted']} "
+            f"shed={report['shed']} at {report['submissions_per_sec']} "
+            "submissions/sec"
+        )
+    else:
+        print(text, end="")
+    return EX_OK
+
+
+def _cmd_service_replay(args: argparse.Namespace) -> int:
+    from repro.service.journal import JOURNAL_NAME, read_journal
+    from repro.service.state import ServiceState
+
+    journal_path = os.path.join(args.journal_dir, JOURNAL_NAME)
+    if not os.path.exists(journal_path):
+        print(f"repro service replay: no journal at {journal_path}",
+              file=sys.stderr)
+        return EX_FAILURE
+    records, _ = read_journal(journal_path)
+    # The socket path never enters the state machine; any placeholder
+    # keeps replay independent of where the server listened.
+    config = _service_config(args, "replayed.sock", args.journal_dir)
+    state = ServiceState.replay(records, config)
+    text = json.dumps(state.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(records)} records replayed)")
+    else:
+        print(text, end="")
+    return EX_OK
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    return {
+        "run": _cmd_service_run,
+        "loadgen": _cmd_service_loadgen,
+        "replay": _cmd_service_replay,
+    }[args.service_command](args)
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.doctor import doctor_main
+
+    return doctor_main(args.dir, pool=not args.no_pool)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -952,6 +1244,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace-report": _cmd_trace_report,
         "chaos": _cmd_chaos,
         "policies": _cmd_policies,
+        "service": _cmd_service,
+        "doctor": _cmd_doctor,
     }[args.command]
     return handler(args)
 

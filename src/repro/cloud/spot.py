@@ -204,7 +204,11 @@ class SpotConfig:
         return SpotMarket(self)
 
     def breaker(self) -> "CircuitBreaker":
-        return CircuitBreaker(self)
+        return CircuitBreaker(
+            threshold=self.breaker_threshold,
+            cooldown_seconds=self.breaker_cooldown_seconds,
+            seed=self.seed,
+        )
 
 
 class SpotMarket:
@@ -332,9 +336,19 @@ class CircuitBreaker:
     OPEN = "open"
     HALF_OPEN = "half_open"
 
-    def __init__(self, config: SpotConfig) -> None:
-        self.config = config
-        base = config.breaker_cooldown_seconds
+    #: Class-level default so instances pickled before this attribute
+    #: existed (durability snapshots) unpickle with a sane value.
+    _probe_outstanding = False
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_seconds: float,
+        seed: int,
+        salt: str = "spot-breaker",
+    ) -> None:
+        self.threshold = threshold
+        base = cooldown_seconds
         self.policy = RetryPolicy(
             base_delay=base,
             max_delay=16.0 * base,
@@ -346,7 +360,8 @@ class CircuitBreaker:
         self.opens = 0
         self.closes = 0
         self._retry = RetryState()
-        self._rng = make_rng(config.seed, "spot-breaker")
+        self._rng = make_rng(seed, salt)
+        self._probe_outstanding = False
         #: Last state transition ("open" / "half_open" / "closed"), set by
         #: the methods below and consumed (cleared) by the engine so each
         #: transition is traced exactly once.
@@ -363,19 +378,27 @@ class CircuitBreaker:
 
     def allow(self, now: float) -> bool:
         """May a provisioning request pass at *now*?  An OPEN breaker
-        whose cooldown has elapsed transitions to HALF_OPEN and lets one
-        probe through."""
+        whose cooldown has elapsed transitions to HALF_OPEN and lets
+        exactly one probe through; further calls are refused until the
+        probe resolves via :meth:`record_success`/:meth:`record_failure`
+        (single-probe: concurrent callers cannot both slip past a
+        half-open breaker)."""
         if self.state_name == self.OPEN:
             if self._retry.blocked(now):
                 return False
             self.state_name = self.HALF_OPEN
             self.last_transition = self.HALF_OPEN
+            self._probe_outstanding = True
+            return True
+        if self.state_name == self.HALF_OPEN and self._probe_outstanding:
+            return False
         return True
 
     def record_failure(self, now: float) -> bool:
         """Book a control-plane failure; returns True when this opened
         (or reopened) the breaker."""
         self.consecutive_failures += 1
+        self._probe_outstanding = False
         if self.state_name == self.HALF_OPEN:
             # The probe failed: reopen with a longer cooldown.
             self.state_name = self.OPEN
@@ -385,7 +408,7 @@ class CircuitBreaker:
             return True
         if (
             self.state_name == self.CLOSED
-            and self.consecutive_failures >= self.config.breaker_threshold
+            and self.consecutive_failures >= self.threshold
         ):
             self.state_name = self.OPEN
             self._retry.record_failure(now, self.policy, self._rng)
@@ -398,6 +421,7 @@ class CircuitBreaker:
         """Book a successful request; returns True when this closed a
         half-open breaker."""
         self.consecutive_failures = 0
+        self._probe_outstanding = False
         if self.state_name == self.HALF_OPEN:
             self.state_name = self.CLOSED
             self._retry.record_success()

@@ -1,0 +1,169 @@
+"""``repro doctor``: will this environment actually hold up?
+
+Every failure mode checked here has bitten a real run: a read-only
+snapshot directory discovered only at the first checkpoint, a container
+without ``AF_UNIX``, a filesystem whose ``fsync`` lies, a spawn context
+broken by a misconfigured entry point, a journal partition with no room
+left.  The doctor reproduces each in seconds and prints one actionable
+line per check, so operators run it *before* the service, not after the
+postmortem.
+
+Exit code: :data:`~repro.exit_codes.EX_OK` when everything passes,
+:data:`~repro.exit_codes.EX_DOCTOR` otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import socket
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CheckResult", "run_checks", "doctor_main"]
+
+#: Below this much free space the journal partition check fails.
+MIN_FREE_BYTES = 50 * 1024 * 1024
+
+
+@dataclass(slots=True, frozen=True)
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str
+
+
+def _pool_probe() -> int:  # pragma: no cover - runs in the worker child
+    return 42
+
+
+def _check_dir_writable(directory: Path) -> CheckResult:
+    name = "dir-writable"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        from repro.durability.snapshot import atomic_write
+
+        probe = directory / ".repro-doctor-probe"
+        atomic_write(probe, b"doctor\n", site="doctor.probe")
+        probe.unlink()
+    except OSError as exc:
+        return CheckResult(
+            name, False,
+            f"cannot atomically write in {directory}: {exc} — "
+            "fix permissions or point --dir at a writable path",
+        )
+    return CheckResult(name, True, f"atomic write + rename ok in {directory}")
+
+
+def _check_fsync(directory: Path) -> CheckResult:
+    name = "fsync"
+    try:
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".repro-doctor-")
+        try:
+            os.write(fd, b"doctor\n")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+            os.unlink(tmp)
+    except OSError as exc:
+        return CheckResult(
+            name, False,
+            f"fsync failed in {directory}: {exc} — journals cannot be made "
+            "durable here; use a local filesystem",
+        )
+    return CheckResult(name, True, "fsync works")
+
+
+def _check_free_space(directory: Path) -> CheckResult:
+    name = "free-space"
+    try:
+        usage = shutil.disk_usage(directory)
+    except OSError as exc:  # pragma: no cover - exotic mounts
+        return CheckResult(name, False, f"cannot stat {directory}: {exc}")
+    if usage.free < MIN_FREE_BYTES:
+        return CheckResult(
+            name, False,
+            f"only {usage.free // (1024 * 1024)} MB free at {directory} — the "
+            "journal needs headroom; free space or point dirs elsewhere",
+        )
+    return CheckResult(
+        name, True, f"{usage.free // (1024 * 1024)} MB free at {directory}"
+    )
+
+
+def _check_unix_socket(directory: Path) -> CheckResult:
+    name = "unix-socket"
+    if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+        return CheckResult(
+            name, False,
+            "AF_UNIX unsupported on this platform — the service API needs it",
+        )
+    path = directory / ".repro-doctor.sock"
+    try:
+        path.unlink(missing_ok=True)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.bind(str(path))
+        finally:
+            sock.close()
+            path.unlink(missing_ok=True)
+    except OSError as exc:
+        return CheckResult(
+            name, False,
+            f"cannot bind a unix socket under {directory}: {exc} — put the "
+            "socket on a local filesystem (not NFS/overlay quirks)",
+        )
+    return CheckResult(name, True, "unix sockets bindable")
+
+
+def _check_spawn_pool() -> CheckResult:
+    name = "spawn-pool"
+    try:
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(1)
+        try:
+            result = pool.submit(_pool_probe).result(timeout=60.0)
+        finally:
+            pool.shutdown()
+        if result != 42:  # pragma: no cover - would be a pickle bug
+            return CheckResult(name, False, f"worker returned {result!r}, not 42")
+    except Exception as exc:  # noqa: BLE001 - any failure is the finding
+        return CheckResult(
+            name, False,
+            f"spawn-context worker failed: {exc} — check that 'repro' is "
+            "importable from a fresh interpreter (PYTHONPATH, no __main__ "
+            "side effects)",
+        )
+    return CheckResult(name, True, "spawn-context worker pool starts and runs")
+
+
+def run_checks(directory: Path, pool: bool = True) -> list[CheckResult]:
+    """Run every environment check against *directory*."""
+    results = [
+        _check_dir_writable(directory),
+        _check_fsync(directory),
+        _check_free_space(directory),
+        _check_unix_socket(directory),
+    ]
+    if pool:
+        results.append(_check_spawn_pool())
+    return results
+
+
+def doctor_main(directory: str | None = None, pool: bool = True) -> int:
+    """CLI body: print one line per check, return the exit code."""
+    from repro.exit_codes import EX_DOCTOR, EX_OK
+
+    target = Path(directory) if directory else Path(tempfile.gettempdir())
+    results = run_checks(target, pool=pool)
+    for result in results:
+        status = "ok  " if result.ok else "FAIL"
+        print(f"doctor {status} {result.name}: {result.detail}")
+    failed = [r for r in results if not r.ok]
+    if failed:
+        print(f"doctor: {len(failed)}/{len(results)} checks failed")
+        return EX_DOCTOR
+    print(f"doctor: all {len(results)} checks passed")
+    return EX_OK

@@ -1,0 +1,56 @@
+"""Process exit codes, in one place.
+
+Every CLI entry point returns one of these constants instead of a bare
+integer, so operators (and the CI smoke jobs, which assert on exact
+codes) can tell *why* a process ended from the code alone:
+
+====  =======================  ==================================================
+code  name                     meaning
+====  =======================  ==================================================
+0     EX_OK                    success
+1     EX_FAILURE               run failed (soak diverged, campaign error,
+                               environment fault escaped, unreadable trace)
+2     EX_USAGE                 bad arguments or configuration (unknown policy,
+                               malformed fault plan, --resume without a dir)
+3     EX_AUDIT_VIOLATION       strict audit aborted the run on an invariant
+                               violation
+4     EX_DRAINED               the scheduler service drained cleanly after
+                               SIGTERM/SIGINT or an API drain request
+5     EX_KILL_SWITCH           the service drained while the provisioning
+                               kill switch was engaged (capacity was halted;
+                               an operator must clear the switch file)
+6     EX_DOCTOR                ``repro doctor`` found the environment unfit
+128+n signal_exit(n)           killed by signal *n* after snapshotting
+                               (e.g. 130 = SIGINT, 143 = SIGTERM)
+====  =======================  ==================================================
+
+The table is documented in README.md; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import signal as _signal
+
+__all__ = [
+    "EX_OK",
+    "EX_FAILURE",
+    "EX_USAGE",
+    "EX_AUDIT_VIOLATION",
+    "EX_DRAINED",
+    "EX_KILL_SWITCH",
+    "EX_DOCTOR",
+    "signal_exit",
+]
+
+EX_OK = 0
+EX_FAILURE = 1
+EX_USAGE = 2
+EX_AUDIT_VIOLATION = 3
+EX_DRAINED = 4
+EX_KILL_SWITCH = 5
+EX_DOCTOR = 6
+
+
+def signal_exit(signum: int) -> int:
+    """The conventional shell exit code for death by signal *signum*."""
+    return 128 + int(_signal.Signals(signum).value)

@@ -19,7 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profiler import Profiler
     from repro.obs.tracer import RunTracer
 
-__all__ = ["profile_to_dict", "trace_to_dict", "prometheus_text"]
+__all__ = [
+    "profile_to_dict",
+    "trace_to_dict",
+    "prometheus_text",
+    "sample_line",
+    "escape_label",
+]
 
 
 def profile_to_dict(profiler: "Profiler") -> dict:
@@ -42,17 +48,30 @@ def trace_to_dict(tracer: "RunTracer") -> dict:
     return out
 
 
-def _escape_label(value: str) -> str:
+def escape_label(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _sample(name: str, value: float, labels: Mapping[str, str] | None = None) -> str:
+def sample_line(
+    name: str, value: float, labels: Mapping[str, str] | None = None
+) -> str:
+    """One ``name{labels} value`` sample line (labels sorted, escaped).
+
+    Public because the service layer (:mod:`repro.service.metrics`)
+    renders its own metric families with the same conventions.
+    """
     if labels:
         inner = ",".join(
-            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+            f'{k}="{escape_label(str(v))}"' for k, v in sorted(labels.items())
         )
         return f"{name}{{{inner}}} {value}"
     return f"{name} {value}"
+
+
+# Internal aliases predating the public names; kept for the call sites below.
+_escape_label = escape_label
+_sample = sample_line
 
 
 def prometheus_text(

@@ -47,6 +47,7 @@ import atexit
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 
@@ -93,15 +94,22 @@ class WorkerPool:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self._executor: ProcessPoolExecutor | None = None
+        # Guards the executor handoff in reset()/shutdown(): the atexit
+        # hook, a service drain, and a watchdog can all race to tear the
+        # pool down, and exactly one of them may own (and join) the
+        # executor — the rest must see None and return, never double-join.
+        self._teardown_lock = threading.Lock()
 
     @property
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("spawn"),
-                initializer=_init_worker,
-            )
+            with self._teardown_lock:
+                if self._executor is None:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=multiprocessing.get_context("spawn"),
+                        initializer=_init_worker,
+                    )
         return self._executor
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
@@ -145,9 +153,13 @@ class WorkerPool:
         return signalled
 
     def reset(self) -> None:
-        """Discard the (typically broken) executor; the next submit respawns."""
-        executor = self._executor
-        self._executor = None
+        """Discard the (typically broken) executor; the next submit respawns.
+
+        Idempotent and safe under concurrent callers: only the caller
+        that wins the executor handoff shuts it down."""
+        with self._teardown_lock:
+            executor = self._executor
+            self._executor = None
         if executor is not None:
             # A broken executor's shutdown is instant; a healthy one is
             # drained without waiting so reset never blocks on stuck work.
@@ -160,9 +172,14 @@ class WorkerPool:
         blocks forever, which used to deadlock atexit teardown and any
         test calling :func:`shutdown_pool`.  Instead: cancel queued work,
         give workers *timeout* seconds to drain, then SIGKILL stragglers.
-        ``timeout=None`` restores the unbounded wait."""
-        executor = self._executor
-        self._executor = None
+        ``timeout=None`` restores the unbounded wait.
+
+        Idempotent: a second (or concurrent) caller — the atexit hook
+        racing a service drain, say — finds ``_executor`` already handed
+        off and returns without joining anything twice."""
+        with self._teardown_lock:
+            executor = self._executor
+            self._executor = None
         if executor is None:
             return
         if timeout is None:
@@ -184,6 +201,7 @@ class WorkerPool:
 
 
 _pool: WorkerPool | None = None
+_pool_lock = threading.Lock()
 
 
 def get_pool(workers: int) -> WorkerPool:
@@ -193,26 +211,43 @@ def get_pool(workers: int) -> WorkerPool:
     only hold a pool reference for the duration of one wave/campaign
     batch and re-fetch it afterwards."""
     global _pool
-    if _pool is None:
-        _pool = WorkerPool(workers)
-    elif _pool.workers < workers:
-        _pool.shutdown()
-        _pool = WorkerPool(workers)
-    return _pool
+    outgrown = None
+    with _pool_lock:
+        if _pool is None:
+            _pool = WorkerPool(workers)
+        elif _pool.workers < workers:
+            outgrown = _pool
+            _pool = WorkerPool(workers)
+        pool = _pool
+    # Joining the outgrown pool happens outside the lock so a slow drain
+    # cannot block other callers from reaching the fresh pool.
+    if outgrown is not None:
+        outgrown.shutdown()
+    return pool
 
 
 def reset_pool() -> None:
-    """Respawn the global pool after a worker death poisoned it."""
-    if _pool is not None:
-        _pool.reset()
+    """Respawn the global pool after a worker death poisoned it.
+
+    Idempotent: WorkerPool.reset() hands the executor off under a lock,
+    so concurrent resets (or a reset racing the atexit shutdown) cannot
+    double-join workers."""
+    with _pool_lock:
+        pool = _pool
+    if pool is not None:
+        pool.reset()
 
 
 def shutdown_pool() -> None:
-    """Tear the global pool down (atexit, and tests that want isolation)."""
+    """Tear the global pool down (atexit, and tests that want isolation).
+
+    Safe to call twice — the atexit hook and an explicit service-drain
+    teardown both land here, and only the first finds a pool to join."""
     global _pool
-    if _pool is not None:
-        _pool.shutdown()
-        _pool = None
+    with _pool_lock:
+        pool, _pool = _pool, None
+    if pool is not None:
+        pool.shutdown()
 
 
 atexit.register(shutdown_pool)

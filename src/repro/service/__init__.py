@@ -1,0 +1,40 @@
+"""Scheduler-as-a-service: the long-running multi-tenant front end.
+
+The batch engine (:mod:`repro.experiments.engine`) answers "what did this
+workload cost?"; this package answers "keep scheduling, forever".  Many
+tenants stream jobs over a local unix-socket API into isolated queues,
+each tenant's policy arbitrated by the paper's Algorithm 1
+(:class:`~repro.core.scheduler.PortfolioScheduler`) against one shared,
+capped provider.
+
+Robustness core (see docs/ARCHITECTURE.md, "The service layer"):
+
+* **Admission control** — per-tenant queued-job and VM-hour budgets plus
+  a token-bucket rate limit; overload sheds with typed reasons instead
+  of degrading other tenants (:mod:`repro.service.state`).
+* **Write-ahead journal** — every accepted submission, tenant lifecycle
+  event, and engine round is appended to a JSONL journal *before* it is
+  applied; replay reconstructs the service state bit-identically after
+  SIGKILL (:mod:`repro.service.journal`).
+* **Kill switch & graceful drain** — SIGTERM stops admissions, finishes
+  the in-flight round, flushes, and exits with
+  :data:`~repro.exit_codes.EX_DRAINED`; a kill-switch file halts
+  provisioning without killing the process (:mod:`repro.service.server`).
+* **Health metrics** — queue depth, shed counters, journal lag, and
+  breaker state in Prometheus text format (:mod:`repro.service.metrics`).
+"""
+
+from repro.service.config import ServiceConfig, TenantBudget
+from repro.service.journal import JournalError, ServiceJournal, read_journal
+from repro.service.state import AdmissionDecision, ServiceState, TenantState
+
+__all__ = [
+    "ServiceConfig",
+    "TenantBudget",
+    "ServiceJournal",
+    "JournalError",
+    "read_journal",
+    "ServiceState",
+    "TenantState",
+    "AdmissionDecision",
+]

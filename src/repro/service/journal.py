@@ -1,0 +1,184 @@
+"""The append-only service journal: a JSONL write-ahead log.
+
+Same substrate as the obs tracer (one JSON object per line, append +
+fsync, chaos fault points on every syscall that matters), but with WAL
+semantics the tracer does not need: a record is **appended before it is
+applied** to the in-memory service state, acks wait on an fsync, and
+replaying the file through :meth:`ServiceState.apply
+<repro.service.state.ServiceState.apply>` reconstructs the state
+bit-identically after SIGKILL.
+
+Envelope (schema ``JOURNAL_SCHEMA``)::
+
+    {"v": 1, "seq": <monotonic int>, "kind": "...", "t": <virtual time>, ...}
+
+Durability discipline:
+
+* ``append`` writes the line with ``O_APPEND`` but does **not** fsync —
+  the server group-commits one :meth:`flush` per event-loop batch and
+  only acks clients after the flush covering their record.
+* A crash can therefore leave a *torn last line* (partial write) or a
+  few *unacked* trailing records; :func:`read_journal` tolerates the
+  former and startup truncates it away, while the latter are replayed —
+  an accepted-but-unacked submission survives, which is the safe side.
+* Orphaned ``*.tmp`` debris (from snapshot writes sharing the dir) is
+  swept on open, mirroring ``SnapshotStore.sweep_debris``.
+
+Chaos: ``service.journal.append`` and ``service.journal.flush`` are
+fault points (:mod:`repro.chaos.hooks`), so a fault plan can make the
+journal fail exactly like a full or dying disk; the server's journal
+breaker then sheds admissions instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.chaos.hooks import fault_point
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JOURNAL_NAME",
+    "JournalError",
+    "ServiceJournal",
+    "read_journal",
+]
+
+#: Bump when the envelope or any record shape changes incompatibly.
+JOURNAL_SCHEMA = 1
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JournalError(RuntimeError):
+    """The journal could not be appended to or flushed."""
+
+
+def read_journal(path: Path | str) -> tuple[list[dict], int]:
+    """Tolerantly read *path*: ``(records, valid_bytes)``.
+
+    Stops at the first torn or non-JSON line (the tail a SIGKILL mid
+    ``write(2)`` leaves) and at the first sequence discontinuity;
+    ``valid_bytes`` is the offset the file should be truncated to so
+    appending can resume on a clean line boundary.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    raw = path.read_bytes()
+    records: list[dict] = []
+    valid = 0
+    expected_seq = 1
+    offset = 0
+    for line in raw.split(b"\n"):
+        end = offset + len(line) + 1  # + the newline
+        if end > len(raw):
+            break  # no trailing newline: torn final line
+        if line:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break
+            if not isinstance(record, dict) or record.get("seq") != expected_seq:
+                break
+            records.append(record)
+            expected_seq += 1
+        valid = end
+        offset = end
+    return records, valid
+
+
+class ServiceJournal:
+    """Appender over one ``journal.jsonl`` (single writer, single dir)."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_NAME
+        self.swept_tmp = self._sweep_debris()
+        records, valid = read_journal(self.path)
+        if self.path.exists() and valid < self.path.stat().st_size:
+            # Torn tail from a previous crash: cut back to the last
+            # complete record so our appends land on a line boundary.
+            with open(self.path, "rb+") as fh:
+                fh.truncate(valid)
+                fh.flush()
+                os.fsync(fh.fileno())
+        #: Sequence of the last record on disk; appends continue from here
+        #: across restarts so replay never sees a discontinuity.
+        self.appended_seq = records[-1]["seq"] if records else 0
+        self.flushed_seq = self.appended_seq
+        self.appends = 0
+        self.flushes = 0
+        self._fd: int | None = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _sweep_debris(self) -> int:
+        """Unlink orphaned ``*.tmp`` files a crashed writer left behind."""
+        swept = 0
+        for tmp in sorted(self.directory.glob("*.tmp")):
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - racing cleaner
+                pass
+        return swept
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    # -- the WAL interface ---------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Records appended but not yet covered by an fsync."""
+        return self.appended_seq - self.flushed_seq
+
+    def append(self, record: dict) -> int:
+        """Write *record* (adding the envelope), return its sequence.
+
+        Raises :class:`JournalError` on any I/O failure — including an
+        injected chaos fault — *without* consuming a sequence number, so
+        the caller can shed and retry later with a dense journal.
+        """
+        seq = self.appended_seq + 1
+        payload = dict(record)
+        payload["v"] = JOURNAL_SCHEMA
+        payload["seq"] = seq
+        line = (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        try:
+            fault_point("service.journal.append", self.path)
+            os.write(self._ensure_fd(), line)
+        except OSError as exc:
+            raise JournalError(f"journal append failed: {exc}") from exc
+        self.appended_seq = seq
+        self.appends += 1
+        return seq
+
+    def flush(self) -> None:
+        """fsync everything appended so far (the group-commit point)."""
+        if self._fd is None or self.flushed_seq == self.appended_seq:
+            return
+        try:
+            fault_point("service.journal.flush", self.path)
+            os.fsync(self._fd)
+        except OSError as exc:
+            raise JournalError(f"journal flush failed: {exc}") from exc
+        self.flushed_seq = self.appended_seq
+        self.flushes += 1
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                self.flush()
+            finally:
+                os.close(self._fd)
+                self._fd = None

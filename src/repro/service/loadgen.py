@@ -1,0 +1,200 @@
+"""The load generator: hundreds of seeded synthetic tenants.
+
+Two pieces:
+
+* :class:`ServiceClient` — a tiny blocking unix-socket client speaking
+  the newline-delimited JSON protocol.  Tests, the CI smoke driver, and
+  the load generator all talk to the service through it.
+* :func:`run_loadgen` — replays a seeded stream of tenants and jobs
+  against a running service, interleaving explicit engine rounds, and
+  reports sustained submissions/sec plus the shed breakdown.  The
+  stream is a pure function of the seed, which is what lets the CI
+  smoke run the *same* stream twice (one SIGKILLed, one uninterrupted)
+  and demand bit-identical replayed state.
+
+``repro service loadgen --spawn`` wraps this with a child service
+process so one command produces ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.sim.rng import make_rng
+
+__all__ = ["ServiceClient", "run_loadgen", "synthetic_jobs"]
+
+
+class ServiceClient:
+    """Blocking client for one service socket (one connection, reused)."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def connect(self, retries: int = 50, delay: float = 0.1) -> None:
+        """Connect, retrying while the service is still starting up."""
+        last: OSError | None = None
+        for _ in range(max(1, retries)):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                sock.close()
+                last = exc
+                time.sleep(delay)
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ConnectionError(
+            f"could not connect to service at {self.socket_path}: {last}"
+        )
+
+    def request(self, payload: dict) -> dict:
+        if self._file is None:
+            self.connect()
+        assert self._file is not None
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def open(self, tenant: str, budget: dict | None = None) -> dict:
+        payload: dict = {"op": "open", "tenant": tenant}
+        if budget is not None:
+            payload["budget"] = budget
+        return self.request(payload)
+
+    def submit(self, tenant: str, job_id: int, runtime: float, procs: int) -> dict:
+        return self.request(
+            {
+                "op": "submit",
+                "tenant": tenant,
+                "job": {"job_id": job_id, "runtime": runtime, "procs": procs},
+            }
+        )
+
+    def round(self) -> dict:
+        return self.request({"op": "round"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        return self.request({"op": "metrics"})["text"]
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+
+def synthetic_jobs(seed: int, tenants: int, jobs_per_tenant: int, hot: int):
+    """The seeded submission stream: ``(tenant, job_id, runtime, procs)``.
+
+    Tenants are interleaved (every tenant submits its *k*-th job before
+    any tenant submits its *k+1*-th) so queue pressure builds evenly;
+    the first *hot* tenants submit 4× the jobs, which is what pushes
+    them over their budgets in the overload scenario.
+    """
+    rng = make_rng(seed, "service-loadgen")
+    counts = [
+        jobs_per_tenant * (4 if i < hot else 1) for i in range(tenants)
+    ]
+    job_id = 0
+    for k in range(max(counts, default=0)):
+        for i in range(tenants):
+            if k >= counts[i]:
+                continue
+            job_id += 1
+            runtime = float(round(float(rng.uniform(10.0, 600.0)), 3))
+            procs = int(rng.integers(1, 5))
+            yield f"t{i:04d}", job_id, runtime, procs
+
+
+def run_loadgen(
+    socket_path: str,
+    tenants: int = 50,
+    jobs_per_tenant: int = 20,
+    seed: int = 0,
+    rounds_every: int = 100,
+    hot: int = 0,
+    budget: dict | None = None,
+) -> dict:
+    """Drive a running service with the seeded stream; return the report.
+
+    ``rounds_every`` interleaves one explicit engine round per that many
+    submissions (0 leaves round pacing entirely to the service's own
+    timer).  The report's ``submissions_per_sec`` counts every submit
+    round-trip, accepted or shed — it measures the admission path.
+    """
+    client = ServiceClient(socket_path)
+    client.connect()
+    try:
+        for i in range(tenants):
+            response = client.open(f"t{i:04d}", budget=budget)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"tenant open failed: {response.get('reason')}"
+                )
+        submitted = accepted = 0
+        shed_by_reason: dict[str, int] = {}
+        started = time.perf_counter()
+        for tenant, job_id, runtime, procs in synthetic_jobs(
+            seed, tenants, jobs_per_tenant, hot
+        ):
+            response = client.submit(tenant, job_id, runtime, procs)
+            submitted += 1
+            if response.get("ok"):
+                accepted += 1
+            else:
+                reason = response.get("reason", "unknown")
+                shed_by_reason[reason] = shed_by_reason.get(reason, 0) + 1
+            if rounds_every and submitted % rounds_every == 0:
+                client.round()
+        elapsed = time.perf_counter() - started
+        stats = client.stats()
+    finally:
+        client.close()
+    shed = submitted - accepted
+    return {
+        "tenants": tenants,
+        "jobs_per_tenant": jobs_per_tenant,
+        "hot_tenants": hot,
+        "seed": seed,
+        "rounds_every": rounds_every,
+        "submitted": submitted,
+        "accepted": accepted,
+        "shed": shed,
+        "shed_by_reason": dict(sorted(shed_by_reason.items())),
+        "elapsed_sec": round(elapsed, 6),
+        "submissions_per_sec": (
+            round(submitted / elapsed, 2) if elapsed > 0 else None
+        ),
+        "rounds": stats["state"]["rounds"],
+        "virtual_now": stats["state"]["virtual_now"],
+        "vms_in_use": stats["state"]["vms_in_use"],
+        "journal_appended_seq": stats["journal"]["appended_seq"],
+    }

@@ -1,0 +1,152 @@
+"""Service health in Prometheus text format.
+
+Rendered on demand by the ``{"op": "metrics"}`` request (and the
+``repro service`` CLI), using the same exposition conventions as
+:func:`repro.obs.exporter.prometheus_text`: ``# HELP`` / ``# TYPE``
+preambles, sorted labels, escaped values.  A scrape sidecar can poll
+the socket and serve this text over HTTP unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.exporter import sample_line
+from repro.service.state import SHED_JOURNAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.spot import CircuitBreaker
+    from repro.service.journal import ServiceJournal
+    from repro.service.state import ServiceState
+
+__all__ = ["service_prometheus_text"]
+
+#: Breaker state as a gauge value (alerting rule: ``> 0`` is trouble).
+_BREAKER_VALUE = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def service_prometheus_text(
+    state: "ServiceState",
+    journal: "ServiceJournal | None" = None,
+    breaker: "CircuitBreaker | None" = None,
+) -> str:
+    """Render the live service state as Prometheus metrics."""
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, help_: str, samples: list[str]) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.extend(samples)
+
+    names = sorted(state.tenants)
+    metric(
+        "repro_service_tenants", "gauge", "Open tenants.",
+        [sample_line("repro_service_tenants", len(names))],
+    )
+    metric(
+        "repro_service_rounds_total", "counter", "Engine rounds applied.",
+        [sample_line("repro_service_rounds_total", state.rounds)],
+    )
+    metric(
+        "repro_service_virtual_seconds", "gauge",
+        "Virtual time the service has advanced through.",
+        [sample_line("repro_service_virtual_seconds", state.virtual_now)],
+    )
+    metric(
+        "repro_service_vms_in_use", "gauge",
+        "Leased VM slots of the shared provider.",
+        [sample_line("repro_service_vms_in_use", state.total_rented())],
+    )
+    metric(
+        "repro_service_kill_switch_engaged", "gauge",
+        "1 while the provisioning kill switch is engaged.",
+        [sample_line("repro_service_kill_switch_engaged", int(state.kill_switch))],
+    )
+    metric(
+        "repro_service_draining", "gauge", "1 once a drain has started.",
+        [sample_line("repro_service_draining", int(state.draining))],
+    )
+    metric(
+        "repro_service_queue_depth", "gauge", "Queued jobs per tenant.",
+        [
+            sample_line(
+                "repro_service_queue_depth",
+                len(state.tenants[name].queue),
+                {"tenant": name},
+            )
+            for name in names
+        ],
+    )
+    metric(
+        "repro_service_accepted_total", "counter",
+        "Accepted submissions per tenant.",
+        [
+            sample_line(
+                "repro_service_accepted_total",
+                state.tenants[name].accepted,
+                {"tenant": name},
+            )
+            for name in names
+        ],
+    )
+    shed_samples = [
+        sample_line(
+            "repro_service_shed_total",
+            count,
+            {"tenant": name, "reason": reason},
+        )
+        for name in names
+        for reason, count in sorted(state.tenants[name].shed.items())
+    ] + [
+        sample_line("repro_service_shed_total", count, {"tenant": "", "reason": reason})
+        for reason, count in sorted(state.unattributed_shed.items())
+    ]
+    metric(
+        "repro_service_shed_total", "counter",
+        "Shed submissions by tenant and typed reason.",
+        shed_samples,
+    )
+    metric(
+        "repro_service_vm_hours_used", "gauge",
+        "VM-hours charged against each tenant's budget (at admission).",
+        [
+            sample_line(
+                "repro_service_vm_hours_used",
+                state.tenants[name].vm_hours_used,
+                {"tenant": name},
+            )
+            for name in names
+        ],
+    )
+
+    if journal is not None:
+        metric(
+            "repro_service_journal_appended_seq", "counter",
+            "Sequence of the last journal record appended.",
+            [sample_line("repro_service_journal_appended_seq", journal.appended_seq)],
+        )
+        metric(
+            "repro_service_journal_lag", "gauge",
+            "Journal records appended but not yet fsynced (group-commit lag).",
+            [sample_line("repro_service_journal_lag", journal.lag)],
+        )
+    if breaker is not None:
+        metric(
+            "repro_service_journal_breaker_state", "gauge",
+            "Journal breaker: 0 closed, 1 half-open, 2 open.",
+            [
+                sample_line(
+                    "repro_service_journal_breaker_state",
+                    _BREAKER_VALUE.get(breaker.state_name, 2),
+                )
+            ],
+        )
+        journal_sheds = state.unattributed_shed.get(SHED_JOURNAL, 0)
+        metric(
+            "repro_service_journal_sheds_total", "counter",
+            "Submissions shed because the journal was unavailable.",
+            [sample_line("repro_service_journal_sheds_total", journal_sheds)],
+        )
+    return "\n".join(lines) + "\n"

@@ -49,6 +49,11 @@ def tiny_cells(n_fixed: int = 5) -> list[CellSpec]:
     return cells[:n_fixed] + [cells[-1]]
 
 
+def _echo(value):
+    """Module-level so the spawn-context workers can pickle it."""
+    return value
+
+
 def outcome_dicts(outcomes) -> list[dict]:
     """JSON-safe comparison form: full metrics plus per-job records.
 
@@ -276,3 +281,82 @@ class TestConfigToken:
 
     def test_equal_configs_equal_tokens(self):
         assert config_token(EngineConfig()) == config_token(EngineConfig())
+
+
+class TestPoolTeardownRaces:
+    """Satellite: reset()/shutdown() must be idempotent and safe when the
+    atexit hook, a service drain, and a watchdog all race to tear the
+    pool down — exactly one caller may join the executor."""
+
+    def test_shutdown_is_idempotent(self):
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(1)
+        assert pool.submit(_echo, 7).result(timeout=60.0) == 7
+        pool.shutdown()
+        pool.shutdown()  # second call finds the executor handed off
+        assert pool._executor is None
+        # The pool respawns on demand after a full shutdown.
+        assert pool.submit(_echo, 8).result(timeout=60.0) == 8
+        pool.shutdown()
+
+    def test_concurrent_shutdown_single_join(self):
+        import threading
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(1)
+        assert pool.submit(_echo, 1).result(timeout=60.0) == 1
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def teardown():
+            try:
+                barrier.wait(timeout=30.0)
+                pool.shutdown()
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=teardown) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert pool._executor is None
+
+    def test_concurrent_reset_and_shutdown(self):
+        import threading
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(1)
+        assert pool.submit(_echo, 2).result(timeout=60.0) == 2
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def run(fn):
+            try:
+                barrier.wait(timeout=30.0)
+                fn()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(fn,))
+            for fn in (pool.reset, pool.shutdown, pool.reset, pool.shutdown)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert pool._executor is None
+
+    def test_module_level_shutdown_pool_idempotent(self):
+        from repro.parallel.pool import get_pool, shutdown_pool
+
+        pool = get_pool(1)
+        assert pool.submit(_echo, 3).result(timeout=60.0) == 3
+        shutdown_pool()
+        shutdown_pool()  # the atexit hook finding it already gone is fine
+        assert get_pool(1) is not pool  # a fresh pool after teardown
+        shutdown_pool()

@@ -186,7 +186,7 @@ class TestCircuitBreaker:
                      breaker_cooldown_seconds=100.0)
 
     def test_opens_only_at_threshold(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         assert not breaker.record_failure(0.0)
         assert not breaker.record_failure(1.0)
         assert breaker.state_name == CircuitBreaker.CLOSED
@@ -195,7 +195,7 @@ class TestCircuitBreaker:
         assert breaker.opens == 1
 
     def test_success_resets_the_consecutive_count(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         breaker.record_failure(0.0)
         breaker.record_failure(1.0)
         breaker.record_success()
@@ -203,7 +203,7 @@ class TestCircuitBreaker:
         assert breaker.state_name == CircuitBreaker.CLOSED
 
     def test_open_blocks_until_cooldown_then_half_opens(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         for t in (0.0, 1.0, 2.0):
             breaker.record_failure(t)
         assert breaker.state_name == CircuitBreaker.OPEN
@@ -214,7 +214,7 @@ class TestCircuitBreaker:
         assert breaker.state_name == CircuitBreaker.HALF_OPEN
 
     def test_probe_success_closes(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         for t in (0.0, 1.0, 2.0):
             breaker.record_failure(t)
         breaker.allow(breaker.blocked_until)
@@ -223,7 +223,7 @@ class TestCircuitBreaker:
         assert breaker.closes == 1
 
     def test_probe_failure_reopens(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         for t in (0.0, 1.0, 2.0):
             breaker.record_failure(t)
         probe_at = breaker.blocked_until
@@ -234,7 +234,7 @@ class TestCircuitBreaker:
         assert breaker.blocked_until > probe_at
 
     def test_transitions_pop_once(self):
-        breaker = CircuitBreaker(self.CFG)
+        breaker = self.CFG.breaker()
         for t in (0.0, 1.0, 2.0):
             breaker.record_failure(t)
         assert breaker.pop_transition() == CircuitBreaker.OPEN
@@ -253,8 +253,42 @@ class TestCircuitBreaker:
                 deadlines.append(breaker.blocked_until)
             return deadlines
 
-        assert exercise(CircuitBreaker(self.CFG)) == \
-               exercise(CircuitBreaker(self.CFG))
+        assert exercise(self.CFG.breaker()) == \
+               exercise(self.CFG.breaker())
+
+    def test_half_open_admits_exactly_one_probe(self):
+        # Two callers racing past a half-open breaker: only the first
+        # may probe; the second is refused until the probe resolves.
+        breaker = self.CFG.breaker()
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        probe_at = breaker.blocked_until
+        assert breaker.allow(probe_at)           # first caller wins the probe
+        assert not breaker.allow(probe_at)       # racing caller is refused
+        assert not breaker.allow(probe_at + 60)  # even later, probe unresolved
+        assert breaker.record_success()
+        assert breaker.allow(probe_at + 60)      # closed again: pass freely
+
+    def test_failed_probe_releases_the_probe_slot(self):
+        breaker = self.CFG.breaker()
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        probe_at = breaker.blocked_until
+        assert breaker.allow(probe_at)
+        assert breaker.record_failure(probe_at)  # probe failed -> reopened
+        nxt = breaker.blocked_until
+        assert breaker.allow(nxt)                # next probe is admitted
+        assert not breaker.allow(nxt)            # ... still one at a time
+
+    def test_standalone_constructor_matches_spotconfig_breaker(self):
+        # The breaker is decoupled from SpotConfig; the default salt keeps
+        # SpotConfig.breaker() streams bit-identical to the old coupling.
+        a = self.CFG.breaker()
+        b = CircuitBreaker(threshold=3, cooldown_seconds=100.0, seed=2)
+        for t in (0.0, 1.0, 2.0):
+            a.record_failure(t)
+            b.record_failure(t)
+        assert a.blocked_until == b.blocked_until
 
 
 # -- provider spot billing ----------------------------------------------------
