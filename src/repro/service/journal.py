@@ -112,6 +112,10 @@ class ServiceJournal:
         self.appends = 0
         self.flushes = 0
         self._fd: int | None = None
+        #: Set when a partial append could not be truncated away: the
+        #: file tail is torn and further appends would land after it,
+        #: unreadable to replay — so the journal refuses them instead.
+        self._torn = False
 
     # -- internals -----------------------------------------------------------
 
@@ -146,7 +150,17 @@ class ServiceJournal:
         Raises :class:`JournalError` on any I/O failure — including an
         injected chaos fault — *without* consuming a sequence number, so
         the caller can shed and retry later with a dense journal.
+
+        ``write(2)`` may land only part of the line (an ``ENOSPC``
+        boundary, say): the loop below keeps writing the rest, and a
+        failure mid-record truncates the torn bytes back to the last
+        record boundary so the *next* append still lands on a clean
+        line.  If even that repair fails, the journal marks itself torn
+        and refuses further appends — anything written after a torn line
+        would be unreadable to replay, silently un-doing acked records.
         """
+        if self._torn:
+            raise JournalError("journal tail is torn and could not be repaired")
         seq = self.appended_seq + 1
         payload = dict(record)
         payload["v"] = JOURNAL_SCHEMA
@@ -155,13 +169,32 @@ class ServiceJournal:
             json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
         ).encode("utf-8")
         try:
+            fd = self._ensure_fd()
             fault_point("service.journal.append", self.path)
-            os.write(self._ensure_fd(), line)
+            boundary = os.fstat(fd).st_size
         except OSError as exc:
+            raise JournalError(f"journal append failed: {exc}") from exc
+        written = 0
+        try:
+            while written < len(line):
+                n = os.write(fd, line[written:])
+                if n <= 0:
+                    raise OSError("write(2) made no progress")
+                written += n
+        except OSError as exc:
+            if written:
+                self._repair_tail(fd, boundary)
             raise JournalError(f"journal append failed: {exc}") from exc
         self.appended_seq = seq
         self.appends += 1
         return seq
+
+    def _repair_tail(self, fd: int, boundary: int) -> None:
+        """Cut a partial append back to the last record *boundary*."""
+        try:
+            os.ftruncate(fd, boundary)
+        except OSError:
+            self._torn = True
 
     def flush(self) -> None:
         """fsync everything appended so far (the group-commit point)."""

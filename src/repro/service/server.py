@@ -34,10 +34,24 @@ Lifecycle:
   round; a toggle is *journaled* before it takes effect, which keeps
   replay bit-identical even across engage/clear cycles.
 * **Journal failure** — appends are guarded by a circuit breaker
-  (:class:`~repro.cloud.spot.CircuitBreaker`, its own RNG salt); while
-  the journal is unavailable the service sheds submissions with the
-  ``journal_unavailable`` reason instead of crashing or acking writes
-  it cannot make durable.
+  (:class:`~repro.cloud.spot.CircuitBreaker`, its own RNG salt).  The
+  two failure modes are deliberately distinct:
+
+  - **Append failed** (I/O error or open breaker): nothing was written
+    and nothing was applied, so the request is *shed* with the
+    ``journal_unavailable`` reason — the service never acks a write it
+    did not make.
+  - **Flush failed** (the record is appended *and* applied, only the
+    covering fsync is owed): the server retries the fsync a few times
+    and, if it keeps failing, acks **accepted-pending**
+    (``{"ok": true, "durable": false}``).  The record is real — replay
+    resurrects it and budgets were charged — so answering "shed" would
+    contradict both the journal and the state; the next successful
+    group commit (or the drain flush) makes it durable.
+
+  The auto-round loop likewise *skips* rounds while the journal is
+  unavailable (counted in ``rounds_skipped``) rather than dying; the
+  service degrades, it never crashes.
 """
 
 from __future__ import annotations
@@ -64,6 +78,12 @@ __all__ = ["ServiceServer", "run_service"]
 _BREAKER_THRESHOLD = 3
 _BREAKER_COOLDOWN = 2.0
 
+#: Bounded fsync retries for a record that is already appended and
+#: applied (the accepted-pending window): a transient flush fault heals
+#: inside one request; a persistent one degrades to ``durable: false``.
+_FLUSH_ATTEMPTS = 3
+_FLUSH_RETRY_DELAY = 0.05
+
 
 class ServiceServer:
     """One service instance (construct, then ``asyncio.run(server.serve())``)."""
@@ -86,6 +106,9 @@ class ServiceServer:
             salt="service-journal",
         )
         self.exit_code = EX_DRAINED
+        #: Auto-rounds skipped because the journal was unavailable
+        #: (availability machinery, not journaled state — like the breaker).
+        self.rounds_skipped = 0
         self._round_lock = asyncio.Lock()
         self._drain_event = asyncio.Event()
         self._flush_waiters: list[asyncio.Future] = []
@@ -160,21 +183,51 @@ class ServiceServer:
             if not waiter.done():
                 waiter.set_result(None)
 
+    async def _commit_retrying(self) -> bool:
+        """Group commit with bounded retries.
+
+        Returns ``True`` when the fsync covered everything appended so
+        far.  ``False`` means the caller's record is *accepted-pending*:
+        appended and applied, fsync still owed — the next successful
+        group commit (or the drain flush) closes the window.  Never
+        raises: by the time this runs the record is already part of the
+        state and the journal file, so there is nothing left to refuse.
+        """
+        for attempt in range(_FLUSH_ATTEMPTS):
+            try:
+                await self._commit()
+                return True
+            except JournalError:
+                if attempt + 1 < _FLUSH_ATTEMPTS:
+                    await asyncio.sleep(_FLUSH_RETRY_DELAY)
+        return False
+
     # -- rounds --------------------------------------------------------------
 
     def _kill_switch_engaged(self) -> bool:
         path = self.config.kill_switch_path
         return path is not None and Path(path).exists()
 
-    async def _run_round(self) -> int:
+    async def _run_round(self) -> tuple[int, bool]:
+        """Run one engine round; returns ``(rounds, durable)``.
+
+        Raises :class:`JournalError` only when the round *record could
+        not be appended* (nothing ran, nothing changed); a failed fsync
+        after the append leaves the round applied and returns
+        ``durable=False``.
+        """
         async with self._round_lock:
             engaged = self._kill_switch_engaged()
             if engaged != self.state.kill_switch:
                 self._journal_apply("kill_switch", engaged=engaged)
             self._journal_apply("round")
-            await self._commit()
-            self._maybe_snapshot()
-            return self.state.rounds
+            durable = await self._commit_retrying()
+            if durable:
+                # Only snapshot off a flushed journal: the snapshot's
+                # cursor (events_processed) must never claim records the
+                # disk might not hold.
+                self._maybe_snapshot()
+            return self.state.rounds, durable
 
     def _maybe_snapshot(self, force: bool = False) -> None:
         every = self.config.snapshot_every_rounds
@@ -203,7 +256,14 @@ class ServiceServer:
             await asyncio.sleep(interval)
             if self._drain_event.is_set():
                 return
-            await self._run_round()
+            try:
+                await self._run_round()
+            except JournalError:
+                # The round record could not be appended (journal fault
+                # or open breaker): skip this round and keep the loop
+                # alive — virtual time pauses while the journal is down,
+                # it must not stop forever.
+                self.rounds_skipped += 1
 
     # -- request handling ----------------------------------------------------
 
@@ -216,12 +276,21 @@ class ServiceServer:
         if op == "submit":
             return await self._op_submit(request)
         if op == "round":
-            rounds = await self._run_round()
-            return {"ok": True, "round": rounds}
+            try:
+                rounds, durable = await self._run_round()
+            except JournalError:
+                # Typed refusal, like the submit/open paths — never an
+                # unhandled exception that drops the connection.
+                return {"ok": False, "reason": SHED_JOURNAL}
+            response = {"ok": True, "round": rounds}
+            if not durable:
+                response["durable"] = False
+            return response
         if op == "stats":
             return {
                 "ok": True,
                 "state": self.state.to_dict(),
+                "rounds_skipped": self.rounds_skipped,
                 "journal": {
                     "appended_seq": self.journal.appended_seq,
                     "flushed_seq": self.journal.flushed_seq,
@@ -244,9 +313,10 @@ class ServiceServer:
             if isinstance(name, str) and name in self.state.tenants:
                 try:
                     self._journal_apply("tenant_close", tenant=name)
-                    await self._commit()
                 except JournalError:
                     return {"ok": False, "reason": SHED_JOURNAL}
+                if not await self._commit_retrying():
+                    return {"ok": True, "durable": False}
             return {"ok": True}
         if op == "drain":
             self._request_drain()
@@ -276,9 +346,14 @@ class ServiceServer:
             return {"ok": False, "reason": "bad_request"}
         try:
             self._journal_apply("tenant_open", tenant=name, budget=budget_dict)
-            await self._commit()
         except JournalError:
+            # Append failed: the tenant was never created — a true shed.
             return {"ok": False, "reason": SHED_JOURNAL}
+        if not await self._commit_retrying():
+            # Appended + applied, fsync owed: the open is real (a retry
+            # would hit the idempotent re-open path), so ack it as
+            # accepted-pending rather than claiming it never happened.
+            return {"ok": True, "durable": False}
         return {"ok": True}
 
     async def _op_submit(self, request: dict) -> dict:
@@ -306,11 +381,17 @@ class ServiceServer:
                 runtime=float(job["runtime"]),
                 procs=job["procs"],
             )
-            await self._commit()
         except JournalError:
             # Not journaled ⇒ not applied ⇒ must not be acked as accepted.
             self.state.shed_in_memory(name, SHED_JOURNAL)
             return {"ok": False, "reason": SHED_JOURNAL}
+        if not await self._commit_retrying():
+            # Appended + applied, only the fsync is owed: the job is
+            # queued, the token spent, the VM-hours charged, and replay
+            # resurrects it — answering "shed" here would bill the
+            # tenant for a rejection and invite a duplicating retry.
+            # Accepted-pending is the truthful answer.
+            return {"ok": True, "seq": seq, "durable": False}
         return {"ok": True, "seq": seq}
 
     async def _shed(self, name: str | None, reason: str | None) -> None:
@@ -319,9 +400,15 @@ class ServiceServer:
         reason = reason or "unknown"
         try:
             self._journal_apply("shed", tenant=name, reason=reason)
-            await self._commit()
         except JournalError:
+            # Append failed: the record was never applied, so count the
+            # shed in memory instead.
             self.state.shed_in_memory(name, reason)
+            return
+        # A failed fsync here must NOT fall back to shed_in_memory: the
+        # shed record is already applied (counting it again would double
+        # it) and sits in the file awaiting the next successful flush.
+        await self._commit_retrying()
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -403,18 +490,30 @@ class ServiceServer:
                     await asyncio.gather(*pending, return_exceptions=True)
             if round_task is not None:
                 round_task.cancel()
-                try:
-                    await round_task
-                except asyncio.CancelledError:
-                    pass
+                # gather(return_exceptions=True) swallows both the
+                # cancellation and any exception a dead round task
+                # stored — teardown must always reach the drain record,
+                # the final flush, and the exit code.
+                await asyncio.gather(round_task, return_exceptions=True)
             async with self._round_lock:
                 try:
                     self._journal_apply("drain")
-                    self.journal.flush()
                 except JournalError:  # pragma: no cover - drain on dead disk
                     pass
+                # Final flush, retried: this is the last chance to close
+                # any accepted-pending window before the process exits.
+                for attempt in range(_FLUSH_ATTEMPTS):
+                    try:
+                        self.journal.flush()
+                        break
+                    except JournalError:
+                        if attempt + 1 < _FLUSH_ATTEMPTS:
+                            await asyncio.sleep(_FLUSH_RETRY_DELAY)
                 self._maybe_snapshot(force=True)
-                self.journal.close()
+                try:
+                    self.journal.close()
+                except JournalError:  # pragma: no cover - dead disk
+                    pass
             for signum in (signal.SIGTERM, signal.SIGINT):
                 try:
                     loop.remove_signal_handler(signum)

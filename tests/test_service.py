@@ -195,6 +195,89 @@ class TestJournal:
         assert not list(tmp_path.glob("*.tmp"))
         journal.close()
 
+    def test_short_write_is_completed_by_the_write_loop(self, tmp_path, monkeypatch):
+        """A short ``write(2)`` (no exception) must not tear the line."""
+        journal = ServiceJournal(tmp_path)
+        real_write = os.write
+        calls = {"n": 0}
+
+        def short_then_fine(fd, data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return real_write(fd, data[:5])  # kernel lands 5 bytes only
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", short_then_fine)
+        seq = journal.append({"kind": "round", "t": 0.0})
+        assert seq == 1 and calls["n"] >= 2
+        journal.flush()
+        journal.close()
+        records, valid = read_journal(tmp_path / JOURNAL_NAME)
+        assert [r["seq"] for r in records] == [1]
+        assert valid == (tmp_path / JOURNAL_NAME).stat().st_size
+
+    def test_failure_mid_record_truncates_back_to_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        """ENOSPC after a partial write must not leave torn bytes that a
+        later append would bury (recovery would drop every record after
+        them, including acked ones)."""
+        journal = ServiceJournal(tmp_path)
+        journal.append({"kind": "round", "t": 0.0})
+        journal.flush()
+        real_write = os.write
+        calls = {"n": 0}
+
+        def short_then_enospc(fd, data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return real_write(fd, data[:5])  # partial...
+            raise OSError(28, "No space left on device")  # ...then fails
+
+        monkeypatch.setattr(os, "write", short_then_enospc)
+        with pytest.raises(JournalError):
+            journal.append({"kind": "round", "t": 20.0})
+        monkeypatch.setattr(os, "write", real_write)
+        assert journal.appended_seq == 1  # no sequence consumed
+        # The tail was repaired: the retry lands on a clean boundary.
+        assert journal.append({"kind": "round", "t": 20.0}) == 2
+        journal.flush()
+        journal.close()
+        records, valid = read_journal(tmp_path / JOURNAL_NAME)
+        assert [r["seq"] for r in records] == [1, 2]
+        assert valid == (tmp_path / JOURNAL_NAME).stat().st_size
+
+    def test_unrepairable_tear_poisons_the_journal(self, tmp_path, monkeypatch):
+        """If even the truncate repair fails, further appends must be
+        refused — they would land after the torn bytes, unreadable to
+        replay — while the acked prefix stays intact."""
+        journal = ServiceJournal(tmp_path)
+        journal.append({"kind": "round", "t": 0.0})
+        journal.flush()
+        real_write = os.write
+        calls = {"n": 0}
+
+        def short_then_enospc(fd, data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return real_write(fd, data[:5])
+            raise OSError(28, "No space left on device")
+
+        def broken_ftruncate(fd, length):
+            raise OSError(5, "I/O error")
+
+        monkeypatch.setattr(os, "write", short_then_enospc)
+        monkeypatch.setattr(os, "ftruncate", broken_ftruncate)
+        with pytest.raises(JournalError):
+            journal.append({"kind": "round", "t": 20.0})
+        monkeypatch.undo()
+        with pytest.raises(JournalError, match="torn"):
+            journal.append({"kind": "round", "t": 40.0})
+        records, valid = read_journal(tmp_path / JOURNAL_NAME)
+        assert [r["seq"] for r in records] == [1]  # acked prefix survives
+        assert valid < (tmp_path / JOURNAL_NAME).stat().st_size
+        journal.close()
+
     def test_chaos_fault_raises_without_consuming_seq(self, tmp_path):
         journal = ServiceJournal(tmp_path)
         journal.append({"kind": "round", "t": 0.0})
@@ -405,6 +488,178 @@ class TestServer:
         text = service_prometheus_text(server.state, server.journal, server.breaker)
         assert "repro_service_journal_sheds_total 1" in text
         server.journal.close()
+
+    def test_flush_fault_acks_accepted_pending(self, tmp_path):
+        """Append ok + fsync failing: the submission is applied and in
+        the file, so the ack must say accepted (pending), never "shed"
+        — a shed answer would bill the tenant for a rejection, invite a
+        duplicating retry, and contradict replay."""
+        config = make_config(tmp_path)
+
+        async def body():
+            server = ServiceServer(config)
+            assert (await server._op_open({"op": "open", "tenant": "a"}))["ok"]
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="service.journal.flush",
+                        action="eio",
+                        every=1,
+                        limit=None,
+                    ),
+                )
+            )
+            install(plan.injector())
+            try:
+                response = await server._op_submit(
+                    {
+                        "op": "submit",
+                        "tenant": "a",
+                        "job": {"job_id": 1, "runtime": 60.0, "procs": 1},
+                    }
+                )
+            finally:
+                uninstall()
+            return server, response
+
+        server, response = asyncio.run(body())
+        assert response == {"ok": True, "seq": 2, "durable": False}
+        tenant = server.state.tenants["a"]
+        assert tenant.accepted == 1 and len(tenant.queue) == 1
+        assert server.state.unattributed_shed == {}  # no phantom shed
+        assert server.journal.lag == 1  # the fsync is still owed
+        # The record is really in the file; once the disk heals, replay
+        # reconstructs exactly the state the ack described.
+        server.journal.flush()
+        server.journal.close()
+        records, _ = read_journal(Path(config.journal_dir) / JOURNAL_NAME)
+        replayed = ServiceState.replay(records, config)
+        assert replayed.to_dict() == server.state.to_dict()
+
+    def test_shed_flush_fault_counts_once(self, tmp_path):
+        """A fsync failure while journaling a shed must not double-count
+        it (the record is already applied)."""
+        config = make_config(tmp_path)
+
+        async def body():
+            server = ServiceServer(config)
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="service.journal.flush",
+                        action="eio",
+                        every=1,
+                        limit=None,
+                    ),
+                )
+            )
+            install(plan.injector())
+            try:
+                response = await server._op_submit(
+                    {
+                        "op": "submit",
+                        "tenant": "ghost",
+                        "job": {"job_id": 1, "runtime": 60.0, "procs": 1},
+                    }
+                )
+            finally:
+                uninstall()
+            server.journal.close()
+            return server, response
+
+        server, response = asyncio.run(body())
+        assert response == {"ok": False, "reason": SHED_UNKNOWN_TENANT}
+        assert server.state.unattributed_shed == {SHED_UNKNOWN_TENANT: 1}
+
+    def test_round_op_journal_fault_gets_typed_response(self, tmp_path):
+        """An explicit round that hits a journal fault must answer with
+        a typed error, not drop the connection on an unhandled
+        exception."""
+        config = make_config(tmp_path)
+
+        async def body():
+            server = ServiceServer(config)
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="service.journal.append",
+                        action="eio",
+                        every=1,
+                        limit=None,
+                    ),
+                )
+            )
+            install(plan.injector())
+            try:
+                response = await server._dispatch({"op": "round"})
+            finally:
+                uninstall()
+            server.journal.close()
+            return server, response
+
+        server, response = asyncio.run(body())
+        assert response == {"ok": False, "reason": SHED_JOURNAL}
+        assert server.state.rounds == 0  # nothing applied
+
+    def test_auto_rounds_survive_journal_faults(self, tmp_path):
+        """Journal faults during automatic rounds skip the round and
+        keep the loop alive — virtual time pauses, it never freezes
+        forever (the round task must not crash)."""
+        config = make_config(tmp_path, round_interval=0.01)
+
+        async def body():
+            server = ServiceServer(config)
+            task = asyncio.create_task(server._auto_rounds())
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="service.journal.append",
+                        action="eio",
+                        every=1,
+                        limit=None,
+                    ),
+                )
+            )
+            install(plan.injector())
+            try:
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if server.rounds_skipped >= 3:
+                        break
+            finally:
+                uninstall()
+            assert server.rounds_skipped >= 3
+            assert not task.done()  # the loop survived every fault
+            server._drain_event.set()
+            await asyncio.wait_for(task, timeout=5.0)
+            server.journal.close()
+
+        asyncio.run(body())
+
+    def test_drain_survives_dead_round_task(self, tmp_path):
+        """Even if the round task died on an unexpected exception,
+        SIGTERM/drain teardown must still complete and exit cleanly."""
+        config = make_config(tmp_path, round_interval=0.01)
+
+        async def script(rpc, server):
+            died = asyncio.Event()
+
+            async def boom():
+                died.set()
+                raise RuntimeError("round task died")
+
+            server._run_round = boom  # simulate an unforeseen crash
+            await asyncio.wait_for(died.wait(), timeout=5.0)
+            await asyncio.sleep(0.02)  # let the exception kill the task
+            return await rpc({"op": "drain"})
+
+        result, exit_code = run_server_session(config, script)
+        assert result["draining"] is True
+        assert exit_code == EX_DRAINED
+        records, valid = read_journal(Path(config.journal_dir) / JOURNAL_NAME)
+        path = Path(config.journal_dir) / JOURNAL_NAME
+        assert valid == path.stat().st_size  # intact journal
+        assert records[-1]["kind"] == "drain"  # teardown reached the record
 
     def test_recovery_prefers_snapshot_then_replays_suffix(self, tmp_path):
         config = make_config(
