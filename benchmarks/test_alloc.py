@@ -1,0 +1,89 @@
+"""Ablation (beyond the paper): fractional fleets under predictor noise.
+
+Sweeps the fractional-fleet knob k ∈ {1, 2, 3} on the bursty DAS-2
+trace with the noisy user-estimate predictor (the regime where hedging
+across policies could plausibly pay).  k=1 is the paper's single-winner
+scheduler — the baseline every other row is compared against.  The rows
+land in ``BENCH_alloc.json`` at the repo root so CI can assert the
+artifact stays fresh.
+"""
+
+from _common import run_once, save_and_show, save_json
+
+from repro.alloc import AllocConfig
+from repro.core.scheduler import PortfolioScheduler
+from repro.experiments.cache import cached_trace
+from repro.experiments.configs import DEFAULT_SCALE
+from repro.experiments.engine import ClusterEngine, EngineConfig
+from repro.metrics.report import format_table
+from repro.predict.simple import UserEstimatePredictor
+from repro.sim.clock import VirtualCostClock
+from repro.workload.synthetic import DAS2_FS0
+
+
+def _run(jobs, k: int):
+    scheduler = PortfolioScheduler(cost_clock=VirtualCostClock(0.010), seed=7)
+    alloc = AllocConfig(k=k, rebalance_threshold=0.05) if k > 1 else None
+    return ClusterEngine(
+        jobs,
+        scheduler,
+        predictor=UserEstimatePredictor(),
+        config=EngineConfig(alloc=alloc),
+    ).run()
+
+
+def _rows():
+    duration, seed = DEFAULT_SCALE.sweep_duration, DEFAULT_SCALE.seed
+    jobs = cached_trace(DAS2_FS0, duration, seed)
+    rows = []
+    base_utility = base_bsd = None
+    for k in (1, 2, 3):
+        result = _run(jobs, k)
+        utility = round(result.utility, 3)
+        bsd = round(result.metrics.avg_bounded_slowdown, 3)
+        if k == 1:
+            base_utility, base_bsd = utility, bsd
+        alloc = result.alloc
+        rows.append(
+            {
+                "k": k,
+                "utility": utility,
+                "utility_delta": round(utility - base_utility, 3),
+                "BSD": bsd,
+                "BSD_delta": round(bsd - base_bsd, 3),
+                "cost[VMh]": round(result.metrics.charged_hours, 1),
+                "rebalances": 0 if alloc is None else
+                alloc["rebalancer"]["rebalances"],
+            }
+        )
+    return rows
+
+
+def test_alloc_ablation(benchmark):
+    rows = run_once(benchmark, _rows)
+    save_and_show(
+        "alloc_ablation",
+        format_table(
+            rows,
+            title="Ablation — fractional fleets (top-k) under predictor noise",
+        ),
+    )
+    save_json(
+        "BENCH_alloc",
+        {
+            "alloc_ablation": {
+                "trace": DAS2_FS0.name,
+                "duration_hours": DEFAULT_SCALE.sweep_duration / 3600.0,
+                "seed": DEFAULT_SCALE.seed,
+                "predictor": "user-estimate",
+                "rebalance_threshold": 0.05,
+                "rows": rows,
+            }
+        },
+        root=True,
+    )
+    by_k = {row["k"]: row for row in rows}
+    assert by_k[1]["rebalances"] == 0  # the paper's scheduler: no fleet split
+    for k in (2, 3):
+        assert by_k[k]["rebalances"] > 0
+        assert by_k[k]["utility"] > 0

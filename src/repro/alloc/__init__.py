@@ -1,0 +1,35 @@
+"""Fractional fleet allocation across top-k portfolio policies.
+
+Generalizes the paper's per-round argmax (one winning policy drives the
+whole fleet) to a weighted split: the top-k policies from Algorithm 1's
+utility ranking each drive a bounded fraction of the VM fleet and queue.
+``k=1`` (the default everywhere) degenerates exactly to the paper's
+scheduler and is regression-pinned bit-identical.
+
+Modules:
+
+- :mod:`.contracts` — frozen, validated ``PolicyAllocation`` /
+  ``FleetAllocation`` (weights on the simplex, per-entry bounds);
+- :mod:`.allocator` — ``AllocConfig`` + ``WeightAllocator`` mapping
+  utility scores to bounded weights (proportional / softmax);
+- :mod:`.split` — deterministic largest-remainder apportionment of an
+  integer fleet, shared with the service tier's tenant fair-share;
+- :mod:`.rebalancer` — drift-threshold hysteresis against fleet
+  thrashing.
+"""
+
+from .allocator import ALLOC_METHODS, AllocConfig, WeightAllocator
+from .contracts import WEIGHT_SUM_TOL, FleetAllocation, PolicyAllocation
+from .rebalancer import DriftRebalancer
+from .split import largest_remainder
+
+__all__ = [
+    "ALLOC_METHODS",
+    "AllocConfig",
+    "DriftRebalancer",
+    "FleetAllocation",
+    "PolicyAllocation",
+    "WEIGHT_SUM_TOL",
+    "WeightAllocator",
+    "largest_remainder",
+]

@@ -1,0 +1,188 @@
+"""Score → weight allocator: utility ranking to bounded top-k weights.
+
+Algorithm 1 hands the scheduler a ranking of policies by utility
+``U = κ·(RJ/RV)^α·(1/BSD)^β`` (always positive — utilization is clamped
+to [0, 1] and BSD floored at 1).  The allocator maps the top-k of that
+ranking onto a :class:`~repro.alloc.contracts.FleetAllocation`:
+
+- ``proportional`` — weight ∝ raw score.  Scores are strictly positive
+  in practice; if a caller ever feeds non-positive scores we shift by
+  the minimum and fall back to equal weights when the spread is zero.
+- ``softmax`` — weight ∝ exp((s − s_max)/T); the temperature ``T``
+  interpolates between argmax (T→0) and equal weights (T→∞).
+
+Weights are then clamped to the configured [min, max] band and
+renormalized with a one-pass proportional-to-slack redistribution.  The
+band is first widened to [min(min, 1/k), max(max, 1/k)] so a feasible
+point always exists; with that adjustment the single pass converges
+exactly.  ``k=1`` bypasses everything and returns weight 1.0 on the
+ranking winner — the paper's argmax, degenerate by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .contracts import FleetAllocation, PolicyAllocation
+
+__all__ = ["ALLOC_METHODS", "AllocConfig", "WeightAllocator"]
+
+ALLOC_METHODS = ("proportional", "softmax")
+
+
+@dataclass(slots=True, frozen=True)
+class AllocConfig:
+    """Knobs for fractional fleet allocation across top-k policies.
+
+    The engine treats ``k == 1`` (the default) as "allocation off": the
+    scheduler's argmax winner drives the whole fleet, bit-identical to
+    a build without this subsystem.
+    """
+
+    k: int = 1
+    method: str = "proportional"
+    temperature: float = 1.0
+    min_weight: float = 0.0
+    max_weight: float = 1.0
+    rebalance_threshold: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.method not in ALLOC_METHODS:
+            raise ValueError(
+                f"method must be one of {ALLOC_METHODS}, got {self.method!r}"
+            )
+        if self.temperature <= 0.0:
+            raise ValueError(
+                f"temperature must be > 0, got {self.temperature}"
+            )
+        if not 0.0 <= self.min_weight <= 1.0:
+            raise ValueError(
+                f"min_weight must be in [0, 1], got {self.min_weight}"
+            )
+        if not 0.0 <= self.max_weight <= 1.0:
+            raise ValueError(
+                f"max_weight must be in [0, 1], got {self.max_weight}"
+            )
+        if self.max_weight <= 0.0:
+            raise ValueError(
+                f"max_weight must be > 0, got {self.max_weight}"
+            )
+        if self.min_weight > self.max_weight:
+            raise ValueError(
+                f"min_weight {self.min_weight} must be <= max_weight "
+                f"{self.max_weight}"
+            )
+        if self.rebalance_threshold < 0.0:
+            raise ValueError(
+                f"rebalance_threshold must be >= 0, "
+                f"got {self.rebalance_threshold}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "method": self.method,
+            "temperature": self.temperature,
+            "min_weight": self.min_weight,
+            "max_weight": self.max_weight,
+            "rebalance_threshold": self.rebalance_threshold,
+            "seed": self.seed,
+        }
+
+
+class WeightAllocator:
+    """Maps a (name, score) ranking to a bounded top-k FleetAllocation."""
+
+    def __init__(self, config: AllocConfig) -> None:
+        self.config = config
+
+    def allocate(self, ranked: Sequence[tuple[str, float]]) -> FleetAllocation:
+        """Allocate over ``ranked`` (best first, as Algorithm 1 sorts it).
+
+        The top ``min(k, len(ranked))`` entries receive weights; entry 0
+        of the result is always the ranking winner.
+        """
+        if not ranked:
+            raise ValueError("cannot allocate over an empty ranking")
+        cfg = self.config
+        top = list(ranked[: cfg.k])
+        k_eff = len(top)
+        if k_eff == 1:
+            # Exact argmax degeneration: a single full-weight entry with
+            # the loosest bounds, so k=1 never trips a bounds check.
+            return FleetAllocation(
+                entries=(PolicyAllocation(policy=top[0][0], target_weight=1.0),)
+            )
+
+        raw = self._raw_weights([score for _, score in top])
+        lo, hi = self._feasible_bounds(k_eff)
+        weights = _clamp_renormalize(raw, lo, hi)
+        entries = tuple(
+            PolicyAllocation(
+                policy=name,
+                target_weight=w,
+                min_weight=lo,
+                max_weight=hi,
+            )
+            for (name, _), w in zip(top, weights)
+        )
+        return FleetAllocation(entries=entries)
+
+    def _raw_weights(self, scores: list[float]) -> list[float]:
+        if self.config.method == "softmax":
+            s_max = max(scores)
+            exps = [math.exp((s - s_max) / self.config.temperature) for s in scores]
+            total = sum(exps)
+            return [e / total for e in exps]
+        # proportional: utility scores are positive by construction, so
+        # raw scores are the weights; shift only if a caller broke that.
+        if min(scores) <= 0.0:
+            shift = -min(scores)
+            scores = [s + shift for s in scores]
+        total = sum(scores)
+        if total <= 0.0:
+            return [1.0 / len(scores)] * len(scores)
+        return [s / total for s in scores]
+
+    def _feasible_bounds(self, k_eff: int) -> tuple[float, float]:
+        """Widen the configured band so the simplex stays reachable.
+
+        ``k_eff`` weights summing to 1 need ``min <= 1/k_eff <= max``;
+        a band the user set for k=3 must not make k_eff=2 infeasible.
+        """
+        even = 1.0 / k_eff
+        lo = min(self.config.min_weight, even)
+        hi = max(self.config.max_weight, even)
+        return lo, hi
+
+
+def _clamp_renormalize(weights: list[float], lo: float, hi: float) -> list[float]:
+    """Clamp into [lo, hi] and redistribute the imbalance within bounds.
+
+    With feasible bounds (``lo <= 1/n <= hi``) a single
+    proportional-to-slack pass lands exactly on the simplex: the excess
+    (or deficit) created by clamping is at most the total slack on the
+    other side, so the redistribution itself never re-violates a bound.
+    """
+    clamped = [min(hi, max(lo, w)) for w in weights]
+    excess = sum(clamped) - 1.0
+    if abs(excess) <= 1e-12:
+        return clamped
+    if excess > 0.0:
+        # Too much mass: shave it proportionally to headroom above lo.
+        slack = [w - lo for w in clamped]
+        total_slack = sum(slack)
+        out = [w - excess * (s / total_slack) for w, s in zip(clamped, slack)]
+    else:
+        # Too little mass: top it up proportionally to headroom below hi.
+        slack = [hi - w for w in clamped]
+        total_slack = sum(slack)
+        out = [w + (-excess) * (s / total_slack) for w, s in zip(clamped, slack)]
+    # Guard against float rounding nudging a weight an ulp past a bound;
+    # the FleetAllocation sum tolerance absorbs the correction.
+    return [min(hi, max(lo, w)) for w in out]

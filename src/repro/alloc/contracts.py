@@ -1,0 +1,123 @@
+"""Validated allocation contracts: policy weights and whole-fleet splits.
+
+The fractional-fleet extension treats portfolio policies the way a
+multi-strategy trading account treats strategies: each policy receives a
+bounded *weight* of the shared VM fleet, and the set of weights must be
+a valid point on the simplex.  Everything here is frozen and validated
+at construction so an impossible allocation (weight 1.5, min above max,
+weights that do not sum to one) can never travel further than the line
+that built it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WEIGHT_SUM_TOL", "PolicyAllocation", "FleetAllocation"]
+
+#: Tolerance on the sum-to-one invariant: weights come out of a float
+#: renormalisation, so demand exactness only up to accumulated ulps.
+WEIGHT_SUM_TOL = 1e-6
+
+
+@dataclass(slots=True, frozen=True)
+class PolicyAllocation:
+    """One policy's slice of the fleet: a bounded target weight.
+
+    Parameters
+    ----------
+    policy:
+        The portfolio member's name (unique within a
+        :class:`FleetAllocation`).
+    target_weight:
+        Fraction of the fleet this policy should drive, in [0, 1].
+    min_weight / max_weight:
+        Bounds the target must respect, both in [0, 1] with
+        ``min_weight <= max_weight``.  Defaults (0, 1) impose nothing.
+    """
+
+    policy: str
+    target_weight: float
+    min_weight: float = 0.0
+    max_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ValueError("policy name must be non-empty")
+        if not 0.0 <= self.target_weight <= 1.0:
+            raise ValueError(
+                f"target_weight must be in [0, 1], got {self.target_weight}"
+            )
+        if not 0.0 <= self.min_weight <= 1.0:
+            raise ValueError(
+                f"min_weight must be in [0, 1], got {self.min_weight}"
+            )
+        if not 0.0 <= self.max_weight <= 1.0:
+            raise ValueError(
+                f"max_weight must be in [0, 1], got {self.max_weight}"
+            )
+        if self.min_weight > self.max_weight:
+            raise ValueError(
+                f"min_weight {self.min_weight} must be <= max_weight "
+                f"{self.max_weight}"
+            )
+        if self.min_weight > self.target_weight:
+            raise ValueError(
+                f"min_weight {self.min_weight} must be <= target_weight "
+                f"{self.target_weight}"
+            )
+        if self.target_weight > self.max_weight:
+            raise ValueError(
+                f"target_weight {self.target_weight} must be <= max_weight "
+                f"{self.max_weight}"
+            )
+
+
+@dataclass(slots=True, frozen=True)
+class FleetAllocation:
+    """A complete split of the fleet across policies.
+
+    Entry order is meaningful: entry 0 is the selection winner (its
+    partition is the one ``_last_policy``-style single-policy logic
+    falls back to), and fleet apportionment walks entries in order.
+    """
+
+    entries: tuple[PolicyAllocation, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a fleet allocation needs at least one entry")
+        names = [entry.policy for entry in self.entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate policy in allocation: {names}")
+        total = sum(entry.target_weight for entry in self.entries)
+        if abs(total - 1.0) > WEIGHT_SUM_TOL:
+            raise ValueError(
+                f"target weights must sum to 1 (±{WEIGHT_SUM_TOL}), "
+                f"got {total!r}"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(entry.policy for entry in self.entries)
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        return tuple(entry.target_weight for entry in self.entries)
+
+    def weight_of(self, policy: str) -> float:
+        for entry in self.entries:
+            if entry.policy == policy:
+                return entry.target_weight
+        raise KeyError(policy)
+
+    def drift_from(self, other: "FleetAllocation") -> float:
+        """L∞ distance between two allocations over the union of names.
+
+        A policy present on one side only contributes its full weight —
+        entering or leaving the top-k is maximal drift for that slot.
+        """
+        mine = {e.policy: e.target_weight for e in self.entries}
+        theirs = {e.policy: e.target_weight for e in other.entries}
+        names = set(mine) | set(theirs)
+        return max(abs(mine.get(n, 0.0) - theirs.get(n, 0.0)) for n in names)

@@ -1,0 +1,66 @@
+"""Drift-threshold hysteresis between target and applied allocations.
+
+Algorithm 1 re-ranks policies every selection round, and raw weights
+wobble with every re-rank.  Moving VMs between partitions is not free
+(queues re-slice, policies lose warm context), so the rebalancer only
+adopts a new target when it diverges from the currently applied
+allocation by more than ``threshold`` in L∞ — the same
+drift-vs-turnover trade portfolio rebalancers make.
+
+The first allocation, and any allocation whose *policy set* changed,
+is always adopted (a partition for a policy that left the top-k cannot
+be kept alive).  Both cases count as rebalances; a held round counts
+as a hold.
+"""
+
+from __future__ import annotations
+
+from .contracts import FleetAllocation
+
+__all__ = ["DriftRebalancer"]
+
+
+class DriftRebalancer:
+    """Applies a FleetAllocation only when drift exceeds the threshold."""
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0.0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.current: FleetAllocation | None = None
+        self.rebalances = 0
+        self.holds = 0
+        self.last_drift = 0.0
+
+    def apply(self, target: FleetAllocation) -> tuple[FleetAllocation, bool]:
+        """Return ``(applied, moved)`` for this round's target.
+
+        ``moved`` is True when the fleet adopts ``target`` (first call,
+        top-k membership change, or drift strictly above the
+        threshold); otherwise the previous allocation is held, so an
+        unchanged target never counts as a rebalance even at
+        threshold 0.
+        """
+        if self.current is None or set(target.names) != set(self.current.names):
+            self.last_drift = (
+                1.0 if self.current is None else target.drift_from(self.current)
+            )
+            self.current = target
+            self.rebalances += 1
+            return target, True
+        drift = target.drift_from(self.current)
+        self.last_drift = drift
+        if drift > self.threshold:
+            self.current = target
+            self.rebalances += 1
+            return target, True
+        self.holds += 1
+        return self.current, False
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "rebalances": self.rebalances,
+            "holds": self.holds,
+            "last_drift": self.last_drift,
+        }

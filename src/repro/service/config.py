@@ -31,14 +31,22 @@ class TenantBudget:
         never from the wall clock, so admission stays replayable.
     burst:
         Token-bucket capacity (instantaneous burst allowance).
+    weight:
+        Fair-share weight for the per-round VM split: tenants with
+        queued demand divide the global cap in proportion to their
+        weights via :func:`repro.alloc.split.largest_remainder`.  The
+        default 1.0 for everyone is plain equal fair share.
     """
 
     max_queued_jobs: int = 256
     max_vm_hours: float = float("inf")
     rate_per_round: float = 64.0
     burst: float = 128.0
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
         if self.max_queued_jobs < 1:
             raise ValueError(
                 f"max_queued_jobs must be >= 1, got {self.max_queued_jobs}"
@@ -62,6 +70,7 @@ class TenantBudget:
             ),
             "rate_per_round": self.rate_per_round,
             "burst": self.burst,
+            "weight": self.weight,
         }
 
     @classmethod
@@ -72,6 +81,7 @@ class TenantBudget:
             max_vm_hours=float("inf") if hours is None else float(hours),
             rate_per_round=float(data.get("rate_per_round", 64.0)),
             burst=float(data.get("burst", 128.0)),
+            weight=float(data.get("weight", 1.0)),
         )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from repro.alloc.split import largest_remainder
 from repro.cloud.profile import VMSnapshot, profile_from_vms
 from repro.core.scheduler import FixedScheduler, PortfolioScheduler, Scheduler
 from repro.policies.base import IdleVM, SchedContext
@@ -305,9 +306,27 @@ class ServiceState:
                     vm.busy_until = -1.0
             tenant.completed += len(finished_jobs)
 
+        # Weighted fair share via the same largest-remainder splitter the
+        # fractional-fleet layer uses for per-policy partitions: tenants
+        # with queued demand divide the global cap in proportion to their
+        # budget weights (all 1.0 by default — plain fair share), and the
+        # max(1, ...) floor keeps every demanding tenant schedulable even
+        # when tenants outnumber VMs (the per-tenant scheduler still
+        # clamps against real global headroom).
         demanding = [n for n in names if self.tenants[n].queue]
-        share = (
-            max(1, self.max_total_vms // len(demanding)) if demanding else 0
+        shares = (
+            dict(
+                zip(
+                    demanding,
+                    largest_remainder(
+                        self.max_total_vms,
+                        [self.tenants[n].budget.weight for n in demanding],
+                        seed=self.seed,
+                    ),
+                )
+            )
+            if demanding
+            else {}
         )
         for name in names:
             tenant = self.tenants[name]
@@ -316,7 +335,7 @@ class ServiceState:
                 # (the portfolio policies' default keep rule).
                 tenant.vms = tenant.busy_vms(now)
                 continue
-            self._schedule_tenant(tenant, now, share)
+            self._schedule_tenant(tenant, now, max(1, shares[name]))
 
     def _schedule_tenant(self, tenant: TenantState, now: float, share: int) -> None:
         cap = min(share, self.max_total_vms)

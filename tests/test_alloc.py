@@ -1,0 +1,504 @@
+"""Tests for fractional fleet allocation (repro.alloc).
+
+The acceptance bar has two halves.  Contract-level: allocations are
+validated at construction, the integer splitter preserves sums, and the
+rebalancer's hysteresis counts what it holds.  System-level: ``k=1``
+(the default) is bit-identical to a build without the subsystem, and a
+``k=3`` run passes the strict audit, survives kill/resume bit-identically,
+and shows up in the trace report and export.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+
+import pytest
+
+from repro.alloc import (
+    ALLOC_METHODS,
+    AllocConfig,
+    DriftRebalancer,
+    FleetAllocation,
+    PolicyAllocation,
+    WEIGHT_SUM_TOL,
+    WeightAllocator,
+    largest_remainder,
+)
+from repro.audit.config import AuditConfig
+from repro.core.scheduler import FixedScheduler, PortfolioScheduler
+from repro.durability import DurableRunner, RunInterrupted, SnapshotConfig
+from repro.experiments.engine import ClusterEngine, EngineConfig
+from repro.experiments.export import result_to_dict
+from repro.obs.report import read_trace, render_trace_report
+from repro.obs.tracer import TraceConfig
+from repro.policies.combined import policy_by_name
+from repro.service.config import TenantBudget
+from repro.service.state import ServiceState
+from repro.sim.clock import VirtualCostClock
+from repro.workload.synthetic import DAS2_FS0, generate_trace
+
+HOUR = 3_600.0
+STRICT = AuditConfig(level="strict")
+
+
+def make_engine(hours=24.0, seed=29, *, alloc=None, trace=None, audit=STRICT):
+    jobs = generate_trace(DAS2_FS0, duration=hours * HOUR, seed=seed)
+    scheduler = PortfolioScheduler(cost_clock=VirtualCostClock(0.010), seed=7)
+    config = EngineConfig(audit=audit, alloc=alloc, trace=trace)
+    return ClusterEngine(jobs, scheduler, config=config)
+
+
+class TestPolicyAllocation:
+    def test_valid_allocation(self):
+        a = PolicyAllocation(policy="ODA", target_weight=0.5,
+                             min_weight=0.1, max_weight=0.9)
+        assert a.target_weight == 0.5
+
+    def test_defaults_impose_nothing(self):
+        a = PolicyAllocation(policy="ODA", target_weight=1.0)
+        assert a.min_weight == 0.0
+        assert a.max_weight == 1.0
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy name"):
+            PolicyAllocation(policy="", target_weight=0.5)
+
+    def test_target_weight_out_of_range(self):
+        with pytest.raises(ValueError, match="target_weight must be in"):
+            PolicyAllocation(policy="A", target_weight=1.5)
+        with pytest.raises(ValueError, match="target_weight must be in"):
+            PolicyAllocation(policy="A", target_weight=-0.1)
+
+    def test_min_weight_out_of_range(self):
+        with pytest.raises(ValueError, match="min_weight must be in"):
+            PolicyAllocation(policy="A", target_weight=0.5, min_weight=-0.1)
+
+    def test_max_weight_out_of_range(self):
+        with pytest.raises(ValueError, match="max_weight must be in"):
+            PolicyAllocation(policy="A", target_weight=0.5, max_weight=1.1)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ValueError, match=r"min_weight.*must be <= max_weight"):
+            PolicyAllocation(policy="A", target_weight=0.5,
+                             min_weight=0.8, max_weight=0.6)
+
+    def test_target_outside_band_rejected(self):
+        with pytest.raises(ValueError, match=r"min_weight.*must be <= target_weight"):
+            PolicyAllocation(policy="A", target_weight=0.1, min_weight=0.2)
+        with pytest.raises(ValueError, match=r"target_weight.*must be <= max_weight"):
+            PolicyAllocation(policy="A", target_weight=0.9, max_weight=0.8)
+
+    def test_frozen(self):
+        a = PolicyAllocation(policy="A", target_weight=0.5)
+        with pytest.raises(Exception):
+            a.target_weight = 0.6
+
+
+class TestFleetAllocation:
+    def entries(self, *weights):
+        return tuple(
+            PolicyAllocation(policy=f"P{i}", target_weight=w)
+            for i, w in enumerate(weights)
+        )
+
+    def test_sum_to_one_accepted(self):
+        fleet = FleetAllocation(entries=self.entries(0.5, 0.3, 0.2))
+        assert fleet.names == ("P0", "P1", "P2")
+        assert fleet.weights == (0.5, 0.3, 0.2)
+        assert fleet.weight_of("P1") == 0.3
+
+    def test_tolerates_float_ulps(self):
+        w = 1.0 / 3.0
+        FleetAllocation(entries=self.entries(w, w, w))  # sums to 1-ulp
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            FleetAllocation(entries=())
+
+    def test_duplicate_policy_rejected(self):
+        dup = (
+            PolicyAllocation(policy="A", target_weight=0.5),
+            PolicyAllocation(policy="A", target_weight=0.5),
+        )
+        with pytest.raises(ValueError, match="duplicate policy"):
+            FleetAllocation(entries=dup)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError, match="must sum to 1"):
+            FleetAllocation(entries=self.entries(0.5, 0.3))
+
+    def test_weight_of_unknown_raises(self):
+        fleet = FleetAllocation(entries=self.entries(1.0))
+        with pytest.raises(KeyError):
+            fleet.weight_of("nope")
+
+    def test_drift_is_linf_over_union(self):
+        a = FleetAllocation(entries=self.entries(0.5, 0.5))
+        b = FleetAllocation(entries=self.entries(0.6, 0.4))
+        assert a.drift_from(b) == pytest.approx(0.1)
+        assert b.drift_from(a) == pytest.approx(0.1)
+
+    def test_drift_counts_membership_change_fully(self):
+        a = FleetAllocation(entries=self.entries(0.5, 0.5))
+        c = FleetAllocation(
+            entries=(
+                PolicyAllocation(policy="P0", target_weight=0.5),
+                PolicyAllocation(policy="X", target_weight=0.5),
+            )
+        )
+        assert a.drift_from(c) == pytest.approx(0.5)
+
+
+class TestLargestRemainder:
+    def test_sum_preserved(self):
+        for total in (0, 1, 7, 64, 101):
+            for weights in ([1.0], [1, 1, 1], [0.5, 0.3, 0.2], [5, 0, 2]):
+                assert sum(largest_remainder(total, weights)) == total
+
+    def test_deterministic(self):
+        a = largest_remainder(10, [1, 1, 1], seed=3)
+        b = largest_remainder(10, [1, 1, 1], seed=3)
+        assert a == b
+
+    def test_seed_breaks_ties(self):
+        splits = {tuple(largest_remainder(10, [1, 1, 1], seed=s)) for s in range(8)}
+        for split in splits:
+            assert sum(split) == 10
+            assert sorted(split) == [3, 3, 4]
+        assert len(splits) > 1  # the tie lands on different positions
+
+    def test_monotone_in_weights(self):
+        shares = largest_remainder(10, [0.5, 0.3, 0.2])
+        assert shares[0] >= shares[1] >= shares[2]
+
+    def test_exact_quotas(self):
+        assert largest_remainder(10, [0.5, 0.3, 0.2]) == [5, 3, 2]
+
+    def test_zero_weight_gets_zero(self):
+        assert largest_remainder(6, [1.0, 0.0, 1.0])[1] == 0
+
+    def test_all_zero_falls_back_to_equal(self):
+        shares = largest_remainder(6, [0.0, 0.0, 0.0])
+        assert sum(shares) == 6
+        assert max(shares) - min(shares) <= 1
+
+    def test_empty_weights(self):
+        assert largest_remainder(0, []) == []
+        with pytest.raises(ValueError, match="no weights"):
+            largest_remainder(3, [])
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError, match="total must be >= 0"):
+            largest_remainder(-1, [1.0])
+        with pytest.raises(ValueError, match="weights must be >= 0"):
+            largest_remainder(3, [1.0, -0.5])
+
+
+class TestAllocConfig:
+    def test_defaults_are_off(self):
+        cfg = AllocConfig()
+        assert cfg.k == 1
+        assert cfg.method in ALLOC_METHODS
+
+    def test_round_trips_to_dict(self):
+        cfg = AllocConfig(k=3, method="softmax", temperature=0.5)
+        assert AllocConfig(**cfg.to_dict()) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(k=0), "k must be >= 1"),
+            (dict(method="argmax"), "method must be one of"),
+            (dict(temperature=0.0), "temperature must be > 0"),
+            (dict(min_weight=1.5), "min_weight must be in"),
+            (dict(max_weight=1.5), "max_weight must be in"),
+            (dict(min_weight=0.6, max_weight=0.4), "must be <= max_weight"),
+            (dict(rebalance_threshold=-0.1), "rebalance_threshold must be >= 0"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AllocConfig(**kwargs)
+
+
+class TestWeightAllocator:
+    def test_k1_is_exact_argmax(self):
+        fleet = WeightAllocator(AllocConfig(k=1)).allocate(
+            [("A", 9.0), ("B", 5.0), ("C", 1.0)]
+        )
+        assert fleet.names == ("A",)
+        assert fleet.weights == (1.0,)
+
+    def test_winner_is_entry_zero(self):
+        fleet = WeightAllocator(AllocConfig(k=3)).allocate(
+            [("A", 5.0), ("B", 3.0), ("C", 2.0)]
+        )
+        assert fleet.names[0] == "A"
+
+    def test_proportional_weights(self):
+        fleet = WeightAllocator(AllocConfig(k=3)).allocate(
+            [("A", 5.0), ("B", 3.0), ("C", 2.0)]
+        )
+        assert fleet.weights == pytest.approx((0.5, 0.3, 0.2))
+
+    def test_k_clamped_to_ranking_length(self):
+        fleet = WeightAllocator(AllocConfig(k=5)).allocate([("A", 2.0), ("B", 1.0)])
+        assert len(fleet.entries) == 2
+        assert abs(sum(fleet.weights) - 1.0) <= WEIGHT_SUM_TOL
+
+    def test_softmax_low_temperature_approaches_argmax(self):
+        cfg = AllocConfig(k=2, method="softmax", temperature=0.01)
+        fleet = WeightAllocator(cfg).allocate([("A", 2.0), ("B", 1.0)])
+        assert fleet.weight_of("A") > 0.999
+
+    def test_softmax_high_temperature_approaches_equal(self):
+        cfg = AllocConfig(k=2, method="softmax", temperature=1e6)
+        fleet = WeightAllocator(cfg).allocate([("A", 2.0), ("B", 1.0)])
+        assert fleet.weight_of("A") == pytest.approx(0.5, abs=1e-3)
+
+    def test_bounds_clamp_and_renormalize(self):
+        cfg = AllocConfig(k=2, min_weight=0.3, max_weight=0.7)
+        fleet = WeightAllocator(cfg).allocate([("A", 99.0), ("B", 1.0)])
+        assert fleet.weights == pytest.approx((0.7, 0.3))
+        assert abs(sum(fleet.weights) - 1.0) <= WEIGHT_SUM_TOL
+
+    def test_infeasible_band_widens_to_equal_split(self):
+        # Two weights cannot both sit below 0.4 and sum to 1; the band
+        # widens to include 1/k so allocation never dead-ends.
+        cfg = AllocConfig(k=2, max_weight=0.4)
+        fleet = WeightAllocator(cfg).allocate([("A", 9.0), ("B", 1.0)])
+        assert fleet.weights == pytest.approx((0.5, 0.5))
+
+    def test_non_positive_scores_shifted(self):
+        fleet = WeightAllocator(AllocConfig(k=2)).allocate(
+            [("A", 0.0), ("B", -1.0)]
+        )
+        assert abs(sum(fleet.weights) - 1.0) <= WEIGHT_SUM_TOL
+        assert fleet.weight_of("A") > fleet.weight_of("B")
+
+    def test_equal_scores_give_equal_weights(self):
+        fleet = WeightAllocator(AllocConfig(k=2)).allocate(
+            [("A", 0.0), ("B", 0.0)]
+        )
+        assert fleet.weights == pytest.approx((0.5, 0.5))
+
+    def test_empty_ranking_raises(self):
+        with pytest.raises(ValueError, match="empty ranking"):
+            WeightAllocator(AllocConfig(k=2)).allocate([])
+
+
+class TestDriftRebalancer:
+    def fleet(self, *weights):
+        return FleetAllocation(
+            entries=tuple(
+                PolicyAllocation(policy=f"P{i}", target_weight=w)
+                for i, w in enumerate(weights)
+            )
+        )
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DriftRebalancer(threshold=-0.1)
+
+    def test_first_allocation_always_adopts(self):
+        rb = DriftRebalancer(threshold=0.5)
+        applied, moved = rb.apply(self.fleet(0.6, 0.4))
+        assert moved
+        assert rb.rebalances == 1
+        assert applied.weights == (0.6, 0.4)
+
+    def test_identical_target_holds_even_at_zero_threshold(self):
+        rb = DriftRebalancer(threshold=0.0)
+        rb.apply(self.fleet(0.6, 0.4))
+        applied, moved = rb.apply(self.fleet(0.6, 0.4))
+        assert not moved
+        assert rb.holds == 1
+        assert applied.weights == (0.6, 0.4)
+
+    def test_drift_below_threshold_holds(self):
+        rb = DriftRebalancer(threshold=0.2)
+        rb.apply(self.fleet(0.6, 0.4))
+        applied, moved = rb.apply(self.fleet(0.5, 0.5))
+        assert not moved
+        assert applied.weights == (0.6, 0.4)  # keeps the old split
+        assert rb.holds == 1
+        assert rb.last_drift == pytest.approx(0.1)
+
+    def test_drift_above_threshold_moves(self):
+        rb = DriftRebalancer(threshold=0.2)
+        rb.apply(self.fleet(0.6, 0.4))
+        applied, moved = rb.apply(self.fleet(0.1, 0.9))
+        assert moved
+        assert applied.weights == (0.1, 0.9)
+        assert rb.rebalances == 2
+
+    def test_membership_change_always_moves(self):
+        rb = DriftRebalancer(threshold=10.0)  # would hold any drift
+        rb.apply(self.fleet(0.6, 0.4))
+        other = FleetAllocation(
+            entries=(
+                PolicyAllocation(policy="P0", target_weight=0.6),
+                PolicyAllocation(policy="X", target_weight=0.4),
+            )
+        )
+        applied, moved = rb.apply(other)
+        assert moved
+        assert applied.names == ("P0", "X")
+
+    def test_to_dict(self):
+        rb = DriftRebalancer(threshold=0.1)
+        rb.apply(self.fleet(1.0))
+        d = rb.to_dict()
+        assert d["threshold"] == 0.1
+        assert d["rebalances"] == 1
+        assert d["holds"] == 0
+
+
+class TestSchedulerIntegration:
+    def test_configure_alloc_type_checked(self):
+        sched = PortfolioScheduler(cost_clock=VirtualCostClock(0.010))
+        with pytest.raises(TypeError, match="AllocConfig"):
+            sched.configure_alloc({"k": 3})
+
+    def test_k1_configure_is_noop(self):
+        sched = PortfolioScheduler(cost_clock=VirtualCostClock(0.010))
+        sched.configure_alloc(AllocConfig(k=1))
+        assert sched.current_allocation() == ()
+        assert sched.alloc_summary() is None
+
+    def test_engine_rejects_alloc_on_fixed_scheduler(self):
+        jobs = generate_trace(DAS2_FS0, duration=6 * HOUR, seed=29)
+        sched = FixedScheduler(policy_by_name("ODA-FCFS-FirstFit"))
+        with pytest.raises(ValueError, match="PortfolioScheduler"):
+            ClusterEngine(jobs, sched, config=EngineConfig(alloc=AllocConfig(k=3)))
+
+
+class TestEngineIntegration:
+    def test_k1_config_is_bit_identical_to_no_config(self):
+        plain = result_to_dict(make_engine().run(), include_records=True)
+        configured = result_to_dict(
+            make_engine(alloc=AllocConfig(k=1)).run(), include_records=True
+        )
+        assert json.dumps(plain, sort_keys=True) == \
+            json.dumps(configured, sort_keys=True)
+
+    def test_k3_strict_audit_clean(self):
+        result = make_engine(alloc=AllocConfig(k=3, rebalance_threshold=0.05)).run()
+        assert result.audit is not None
+        assert result.audit.ok, result.audit.violations
+        alloc = result.alloc
+        assert alloc is not None
+        assert alloc["config"]["k"] == 3
+        assert alloc["rebalancer"]["rebalances"] > 0
+        assert alloc["rounds"] > 0
+        applied = alloc["applied"]
+        assert applied is not None
+        assert abs(sum(applied.values()) - 1.0) <= WEIGHT_SUM_TOL
+
+    def test_k3_alloc_block_in_export(self):
+        result = make_engine(
+            hours=6.0, alloc=AllocConfig(k=3, rebalance_threshold=0.05)
+        ).run()
+        payload = result_to_dict(result)
+        assert payload["alloc"]["config"]["k"] == 3
+        assert payload["audit"]["ok"] is True
+
+    def test_k1_export_has_no_alloc_block(self):
+        payload = result_to_dict(make_engine(hours=6.0).run())
+        assert "alloc" not in payload
+
+    def test_alloc_records_in_trace_and_report(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        result = make_engine(
+            alloc=AllocConfig(k=3, rebalance_threshold=0.05),
+            trace=TraceConfig(path=str(path)),
+        ).run()
+        trace = read_trace(path)
+        allocs = trace.of_kind("alloc")
+        assert allocs, "expected ALLOC records in the trace"
+        for r in allocs:
+            assert abs(sum(r["applied"].values()) - 1.0) <= WEIGHT_SUM_TOL
+        moves = [r for r in allocs if r["moved"]]
+        assert moves
+        assert result.alloc["rebalancer"]["rebalances"] == \
+            moves[-1]["rebalances"]
+        report = render_trace_report(trace)
+        assert "fleet allocation:" in report
+        assert "rebalances" in report
+
+    def test_alloc_telemetry_is_single_slot(self):
+        engine = make_engine(hours=6.0, alloc=AllocConfig(k=3))
+        result = engine.run()
+        assert result.alloc is not None
+        # With tracing off nothing drains the slot, but it never grows
+        # past one pending event, and taking it empties it.
+        assert engine.scheduler.take_alloc_telemetry() is not None
+        assert engine.scheduler.take_alloc_telemetry() is None
+
+
+class TestDurableAlloc:
+    def test_kill_and_resume_k3_is_bit_identical(self, tmp_path):
+        alloc = AllocConfig(k=3, rebalance_threshold=0.05)
+        reference = result_to_dict(
+            make_engine(alloc=alloc).run(), include_records=True
+        )
+
+        config = SnapshotConfig(directory=tmp_path, interval_seconds=None,
+                                every_events=200)
+        runner = DurableRunner(make_engine(alloc=alloc), config)
+        runner.on_snapshot = lambda info: (
+            runner.request_stop(signal.SIGTERM) if info.sequence >= 2 else None
+        )
+        with pytest.raises(RunInterrupted):
+            runner.run()
+
+        resumed_runner = DurableRunner.resume(config)
+        assert resumed_runner.resumed_from is not None
+        resumed = result_to_dict(resumed_runner.run(), include_records=True)
+        assert json.dumps(reference, sort_keys=True) == \
+            json.dumps(resumed, sort_keys=True)
+
+
+class TestServiceWeightedShare:
+    """The service tier reuses the same splitter for per-tenant shares."""
+
+    def open_record(self, name, weight):
+        budget = TenantBudget(weight=weight)
+        return {"kind": "tenant_open", "tenant": name,
+                "budget": budget.to_dict(), "t": 0.0}
+
+    def submit(self, name, job_id):
+        return {"kind": "submit", "tenant": name, "job_id": job_id,
+                "runtime": 10_000.0, "procs": 1, "t": 0.0}
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="weight must be > 0"):
+            TenantBudget(weight=0.0)
+
+    def test_weight_round_trips(self):
+        budget = TenantBudget(weight=3.0)
+        assert TenantBudget.from_dict(budget.to_dict()).weight == 3.0
+        assert TenantBudget.from_dict({}).weight == 1.0  # old journals
+
+    def test_weighted_tenant_gets_more_vms(self, tmp_path):
+        from repro.service.config import ServiceConfig
+
+        config = ServiceConfig(
+            socket_path=str(tmp_path / "svc.sock"),
+            journal_dir=str(tmp_path / "journal"),
+            round_interval=0.0,
+            max_total_vms=8,
+            seed=7,
+        )
+        state = ServiceState(config)
+        state.apply(self.open_record("heavy", 3.0))
+        state.apply(self.open_record("light", 1.0))
+        for i in range(1, 9):
+            state.apply(self.submit("heavy", i))
+            state.apply(self.submit("light", 100 + i))
+        state.apply({"kind": "round"})
+        heavy = state.tenants["heavy"].started
+        light = state.tenants["light"].started
+        assert heavy > light > 0
+        assert state.total_rented() <= config.max_total_vms
