@@ -1,0 +1,564 @@
+"""The warm-start kernel fast path of the online simulator.
+
+:class:`~repro.core.online_sim.OnlineSimulator` is invoked up to 60
+times per 20 s scheduling tick, so its constant factors are the whole
+product's cost (ROADMAP item 1).  This module is a drop-in replacement
+for its inner loop that produces **bit-identical** :class:`SimOutcome`
+values while doing strictly less work per step:
+
+* **Warm-start prefix** (:class:`KernelPrep`): everything that depends
+  only on the (queue, profile) snapshot — per-job constants (procs,
+  floored runtime estimates, priority denominators, ODX urgency
+  crossings, the policy-independent RJ total) and the base VM arrays —
+  is derived once per selection round and shared by all policies.  Each
+  evaluation copies only the four O(fleet) mutable arrays.
+* **Slot/array structs**: the per-step `_SimVM` object scan becomes a
+  scan over parallel float lists indexed by slot id, and the
+  `SchedContext` / `IdleVM` view objects are never materialised — the
+  known policy formulae are computed inline over the same floats, in
+  the same order, with the same operations.
+* **Specialised policy arithmetic**: the 60-member portfolio is built
+  from 5 provisioning × 4 job-selection × 3 VM-selection classes whose
+  formulae are closed-form.  The fast path dispatches on the *exact*
+  concrete types and evaluates those formulae directly, caching the
+  pending-set aggregates (Σ procs, widest job, ODE work sum, min procs)
+  that only change when a job starts.  Any policy built from other
+  classes falls back to the reference kernel — same results, reference
+  speed.
+
+Bit-identity argument (verified by the differential soak in
+``tests/test_kernel_fast.py`` and the CI export diffs):
+
+* every priority / demand / remaining-paid expression here performs the
+  same IEEE-754 operations in the same order as the policy classes;
+  per-job constants (e.g. ``max(runtime, 1.0)``) are hoisted, which is
+  value-preserving because the operands never change;
+* all sorts use stable ``sorted(..., key=arr.__getitem__)`` (optionally
+  ``reverse=True``, which is tie-stable), reproducing the reference's
+  ``(±value, index)`` tie-breaking exactly; FCFS visit order is a
+  precomputed constant because adding the same elapsed time to every
+  wait never reorders or un-ties priorities;
+* RV charges are integer multiples of the billing period (see
+  ``_charged``), so their float accumulation is exact and
+  order-independent; every *decision* (idle order, pending order, VM
+  choice) preserves the reference iteration order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from math import ceil
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cloud.profile import CloudProfile
+from repro.policies.combined import CombinedPolicy
+from repro.policies.job_selection import FCFS, LXF, UNICEF, WFP3
+from repro.policies.provisioning import ODA, ODB, ODE, ODM, ODX
+from repro.policies.spot_aware import SpotBidProvisioning
+from repro.policies.vm_selection import BestFit, FirstFit, WorstFit
+from repro.workload.job import BOUNDED_SLOWDOWN_BOUND, Job
+
+from repro.core.online_sim import _charged, _remaining_paid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.online_sim import OnlineSimulator, SimOutcome
+
+__all__ = ["KernelPrep", "fast_plan", "fast_evaluate"]
+
+_EPS = 1e-6
+_INF = float("inf")
+
+# Exact-type dispatch tables.  ``type(x) is C`` (not isinstance) on
+# purpose: a subclass may override the formula, and then only the
+# reference kernel — which calls the methods — is correct.
+_PROV_ODA, _PROV_ODB, _PROV_ODE, _PROV_ODM, _PROV_ODX = range(5)
+_PROV_KINDS = {ODA: _PROV_ODA, ODB: _PROV_ODB, ODE: _PROV_ODE,
+               ODM: _PROV_ODM, ODX: _PROV_ODX}
+_JSEL_FCFS, _JSEL_LXF, _JSEL_UNICEF, _JSEL_WFP3 = range(4)
+_JSEL_KINDS = {FCFS: _JSEL_FCFS, LXF: _JSEL_LXF,
+               UNICEF: _JSEL_UNICEF, WFP3: _JSEL_WFP3}
+_VSEL_BEST, _VSEL_FIRST, _VSEL_WORST = range(3)
+_VSEL_KINDS = {BestFit: _VSEL_BEST, FirstFit: _VSEL_FIRST,
+               WorstFit: _VSEL_WORST}
+
+
+def fast_plan(policy: CombinedPolicy):
+    """Dispatch plan for *policy*, or ``None`` if it must take the
+    reference path (any component of an unknown concrete type).
+
+    Returns ``(prov_kind, jsel_kind, vsel_kind, base_provisioning)``.
+    A :class:`SpotBidProvisioning` wrapper is unwrapped for demand
+    sizing — its ``new_vms`` delegates to the base verbatim — while
+    scoring keeps pricing against the wrapper (``rv_spot_factor``).
+    """
+    if type(policy) is not CombinedPolicy:
+        return None
+    prov = policy.provisioning
+    base = prov.base if type(prov) is SpotBidProvisioning else prov
+    pk = _PROV_KINDS.get(type(base))
+    jk = _JSEL_KINDS.get(type(policy.job_selection))
+    vk = _VSEL_KINDS.get(type(policy.vm_selection))
+    if pk is None or jk is None or vk is None:
+        return None
+    return pk, jk, vk, base
+
+
+class KernelPrep:
+    """Warm-start prefix: snapshot-derived state shared by every policy
+    evaluated in one selection round.
+
+    Holds references to the original inputs (for the reference-path
+    fallback) plus the derived parallel arrays.  Immutable after
+    construction; per-evaluation state is copied out of it in O(fleet).
+    """
+
+    __slots__ = (
+        "queue", "waits", "runtimes", "profile",
+        "t0", "period", "boot", "max_vms",
+        "n_jobs", "procs", "est", "waits0", "work",
+        "denom10", "unicef_denom", "odx_crossing", "odx_sorted",
+        "fcfs_order", "rj",
+        "lease0", "lbe0", "busy0", "boot0", "idle0", "n_busy0", "n_pre",
+    )
+
+    def __init__(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> None:
+        self.queue = queue
+        self.waits = waits
+        self.runtimes = runtimes
+        self.profile = profile
+
+        t0 = profile.now
+        self.t0 = t0
+        self.period = profile.billing_period
+        self.boot = profile.boot_delay
+        self.max_vms = profile.max_vms
+
+        n = len(queue)
+        self.n_jobs = n
+        procs = [job.procs for job in queue]
+        self.procs = procs
+        # max(runtime, 1.0) serves three reference expressions with one
+        # array: the job-selection _MIN_RUNTIME floor, the simulated
+        # finish time, and the scoring estimate.
+        est = [rt if rt > 1.0 else 1.0 for rt in runtimes]
+        self.est = est
+        self.waits0 = [w + 0.0 for w in waits]
+        # ODE's work sum terms (job.procs * runtime, unfloored).
+        self.work = [procs[i] * runtimes[i] for i in range(n)]
+        # max(runtime, 10.0): the bounded-slowdown denominator, equal in
+        # value whether floored at 1.0 first or not (10 > 1).
+        self.denom10 = [
+            rt if rt > BOUNDED_SLOWDOWN_BOUND else BOUNDED_SLOWDOWN_BOUND
+            for rt in runtimes
+        ]
+        self.unicef_denom = [
+            max(1.0, math.log2(procs[i])) * est[i] for i in range(n)
+        ]
+        # ODX urgency crossings: t0 + (denom - wait0) + EPS is constant
+        # per job, so the reference's per-step recomputation collapses
+        # to a table lookup (identical operands, identical rounding).
+        # The crossing-sorted job order lets the wake-up scan advance a
+        # pointer past dead (<= t) entries instead of re-walking the
+        # whole pending set every step.
+        self.odx_crossing = [
+            t0 + (self.denom10[i] - waits[i]) + _EPS for i in range(n)
+        ]
+        self.odx_sorted = sorted(range(n), key=self.odx_crossing.__getitem__)
+        # FCFS priorities are waits0[i] + dt: a shared offset never
+        # changes their order or creates/breaks ties, and the reference's
+        # pending-position tie-break equals job-index order (pending
+        # preserves queue order), so one static job visit order serves
+        # every step of every FCFS policy.
+        self.fcfs_order = sorted(range(n), key=self.waits0.__getitem__,
+                                 reverse=True)
+        # RJ is policy-independent: accumulate once, in queue order,
+        # exactly like the reference scoring loop.
+        rj = 0.0
+        for i in range(n):
+            rj += procs[i] * est[i]
+        self.rj = rj
+
+        # Base VM arrays, mirroring the reference _SimVM construction.
+        # Instead of re-scanning the whole fleet every step, the fast
+        # kernel tracks state transitions in two event heaps; the t0
+        # classification is itself policy-independent, so the initial
+        # heaps/idle list are built (and heapified) once here and merely
+        # copied per evaluation — a copy of a heap is a valid heap.
+        lease0: list[float] = []
+        lbe0: list[float] = []
+        busy0: list[tuple[float, int]] = []   # (busy_until, slot)
+        boot0: list[tuple[float, int]] = []   # (ready_time, slot)
+        idle0: list[int] = []                 # slots, ascending
+        for s, snap in enumerate(profile.vms):
+            lease0.append(snap.lease_time)
+            lbe0.append(max(t0, snap.busy_until))
+            if snap.busy_until > t0:
+                busy0.append((snap.busy_until, s))
+            elif snap.ready_time > t0:
+                boot0.append((snap.ready_time, s))
+            else:
+                idle0.append(s)
+        heapq.heapify(busy0)
+        heapq.heapify(boot0)
+        self.lease0 = lease0
+        self.lbe0 = lbe0
+        self.busy0 = busy0
+        self.boot0 = boot0
+        self.idle0 = idle0
+        self.n_busy0 = len(busy0)
+        self.n_pre = len(lease0)
+
+
+def fast_evaluate(
+    sim: "OnlineSimulator",
+    prep: KernelPrep,
+    policy: CombinedPolicy,
+    plan,
+) -> "SimOutcome":
+    """Array-based evaluation of *policy* on *prep*'s snapshot.
+
+    Decision-for-decision identical to
+    ``OnlineSimulator._evaluate_reference`` under the eager release
+    rule; see the module docstring for the bit-identity argument.
+    """
+    pk, jk, vk, base_prov = plan
+    tick = sim.tick
+    max_steps = sim.max_steps
+    marginal = sim.rv_accounting == "marginal"
+
+    t0 = prep.t0
+    period = prep.period
+    boot = prep.boot
+    max_vms = prep.max_vms
+    procs = prep.procs
+    est = prep.est
+    waits0 = prep.waits0
+    runtimes = prep.runtimes
+    work = prep.work
+    denom10 = prep.denom10
+    udenom = prep.unicef_denom
+    crossing = prep.odx_crossing
+    n_pre = prep.n_pre
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # Per-evaluation mutable state: O(fleet) copies of the base arrays
+    # and event heaps.  ``busy_heap``/``boot_heap`` hold (time, slot)
+    # pairs; a VM is in exactly one of {busy_heap, boot_heap, idle,
+    # released}.  Slots are assigned in lease order, so the reference's
+    # ``active`` iteration order is simply ascending slot id.
+    lease = prep.lease0[:]
+    lbe = prep.lbe0[:]
+    busy_heap = prep.busy0[:]
+    boot_heap = prep.boot0[:]
+    idle = prep.idle0[:]
+    n_busy = prep.n_busy0
+    rented = n_pre
+    released: set[int] = set()
+
+    rv = 0.0
+    rv_new = 0.0
+    pending = list(range(prep.n_jobs))
+    in_pending = [True] * prep.n_jobs
+    fcfs_order = prep.fcfs_order
+    start_times: dict[int, float] = {}
+
+    # Pending-set aggregates, refreshed only when a job starts.  All are
+    # exact (int sums/extrema; the ODE work sum is re-accumulated in
+    # pending order on refresh, matching the reference's sum()).
+    total_procs = 0
+    widest = 0
+    min_procs = 1 << 30
+    work_sum = 0.0
+    for i in pending:
+        p = procs[i]
+        total_procs += p
+        if p > widest:
+            widest = p
+        if p < min_procs:
+            min_procs = p
+        work_sum += work[i]
+
+    is_odx = pk == _PROV_ODX
+    odx_threshold = base_prov.threshold if is_odx else 2.0
+    if is_odx:
+        n_jobs = prep.n_jobs
+        odx_sorted = prep.odx_sorted
+        odx_ptr = 0
+        # Urgency ((wait + denom) / denom > threshold) is monotone
+        # nondecreasing in t, so each job is probed only until it
+        # crosses; after that its procs sit in ``urgent_sum`` until it
+        # starts.  This replaces the reference's full pending re-scan
+        # with exactly one crossing evaluation per (job, pre-crossing
+        # step) — same comparisons, same results.
+        watch = pending[:]
+        urgent_flag = [False] * n_jobs
+        urgent_sum = 0
+
+    t = t0
+    steps = 0
+    truncated = False
+
+    while pending:
+        steps += 1
+        if steps > max_steps:
+            truncated = True
+            break
+
+        # --- advance fleet state to t (event-driven classify) ---------
+        # The reference scans every VM per step; here finished/booted
+        # VMs pop off their heaps into the idle list.  Idle order must
+        # stay ascending-slot (== the reference's active order), so the
+        # (cheap, nearly-sorted) sort restores it after arrivals.
+        moved = False
+        while busy_heap and busy_heap[0][0] <= t:
+            n_busy -= 1
+            idle.append(heappop(busy_heap)[1])
+            moved = True
+        while boot_heap and boot_heap[0][0] <= t:
+            idle.append(heappop(boot_heap)[1])
+            moved = True
+        if moved:
+            idle.sort()
+        next_event = busy_heap[0][0] if busy_heap else _INF
+        if boot_heap:
+            bt = boot_heap[0][0]
+            if bt < next_event:
+                next_event = bt
+        available = rented - n_busy
+        dt = t - t0
+
+        # --- provisioning (closed forms of the five OD* policies) -----
+        if pk == _PROV_ODA:
+            demand = total_procs - available
+        elif pk == _PROV_ODB:
+            demand = total_procs - rented
+        elif pk == _PROV_ODE:
+            if work_sum <= 0:
+                demand = 0
+            else:
+                target = math.ceil(work_sum / 3_600.0)
+                target = min(max(target, widest), total_procs)
+                demand = target - available
+        elif pk == _PROV_ODM:
+            demand = widest - available
+        else:  # ODX
+            if watch:
+                still = []
+                for i in watch:
+                    d = denom10[i]
+                    if ((waits0[i] + dt) + d) / d > odx_threshold:
+                        urgent_flag[i] = True
+                        urgent_sum += procs[i]
+                    else:
+                        still.append(i)
+                watch = still
+            demand = urgent_sum - available
+        if demand < 0:
+            demand = 0
+        headroom = max_vms - rented
+        if headroom < 0:
+            headroom = 0
+        n_new = demand if demand < headroom else headroom
+        if n_new:
+            ready_at = t + boot
+            for _ in range(n_new):
+                heappush(boot_heap, (ready_at, len(lease)))
+                lease.append(t)
+                lbe.append(t)
+            if ready_at < next_event:
+                next_event = ready_at
+            rented += n_new
+            available += n_new
+
+        # --- allocation -----------------------------------------------
+        # With no backfilling the walk breaks at the first job that does
+        # not fit, so when even the narrowest pending job exceeds the
+        # idle pool the whole pass is a guaranteed no-op — skip it
+        # (including the priority sort) outright.
+        supply_changed = n_new > 0
+        if idle and min_procs <= len(idle):
+            # Visit order = reference's stable sort on (-priority,
+            # pending position).  FCFS order is constant (see KernelPrep);
+            # the others sort a per-step priority list with a C-level key.
+            # The walk is lazy: it stops at the first blocked job or an
+            # empty pool, so generators avoid materialising the tail.
+            if jk == _JSEL_FCFS:
+                order_iter = (i for i in fcfs_order if in_pending[i])
+            else:
+                if jk == _JSEL_LXF:
+                    prio = [(waits0[i] + dt + est[i]) / est[i]
+                            for i in pending]
+                elif jk == _JSEL_UNICEF:
+                    prio = [(waits0[i] + dt) / udenom[i] for i in pending]
+                else:  # WFP3
+                    prio = [
+                        ((waits0[i] + dt) / est[i]) ** 3 * procs[i]
+                        for i in pending
+                    ]
+                order_iter = (
+                    pending[qpos]
+                    for qpos in sorted(range(len(pending)),
+                                       key=prio.__getitem__, reverse=True)
+                )
+            rem = None
+            if vk != _VSEL_FIRST:
+                rem = [
+                    # _remaining_paid() inlined — hot loop; equality is
+                    # property-tested in tests/test_kernel_fast.py
+                    (period - (t - lease[s]) % period) % period or period
+                    for s in idle
+                ]
+            pool = list(range(len(idle)))  # positions into idle/rem
+            started = None
+            used: set[int] = set()
+            for qidx in order_iter:
+                p = procs[qidx]
+                if p > len(pool):
+                    break  # no backfilling: the blocked job stalls the queue
+                if vk == _VSEL_FIRST:
+                    chosen = pool[:p]
+                    del pool[:p]
+                else:
+                    runtime = runtimes[qidx]
+                    ra = [(rem[pi] - runtime) % period for pi in pool]
+                    picks = sorted(range(len(pool)), key=ra.__getitem__,
+                                   reverse=vk == _VSEL_WORST)[:p]
+                    chosen = [pool[ci] for ci in picks]
+                    for ci in sorted(picks, reverse=True):
+                        del pool[ci]
+                # Apply effects immediately: the reference's walk-then-
+                # apply split is equivalent because the walk never reads
+                # the VM state it mutates (``rem`` is fixed for the step
+                # and ``pool`` already excludes chosen VMs).
+                finish = t + est[qidx]
+                for pi in chosen:
+                    s = idle[pi]
+                    lbe[s] = finish
+                    heappush(busy_heap, (finish, s))
+                    used.add(s)
+                n_busy += p
+                start_times[qidx] = t
+                if started is None:
+                    started = {qidx}
+                else:
+                    started.add(qidx)
+                in_pending[qidx] = False
+                if is_odx and urgent_flag[qidx]:
+                    urgent_sum -= p
+                if finish < next_event:
+                    next_event = finish
+                if not pool:
+                    break
+            if started:
+                pending = [i for i in pending if i not in started]
+                if not pending:
+                    break
+                idle = [s for s in idle if s not in used]
+                supply_changed = True
+                total_procs = 0
+                widest = 0
+                min_procs = 1 << 30
+                work_sum = 0.0
+                for i in pending:
+                    p = procs[i]
+                    total_procs += p
+                    if p > widest:
+                        widest = p
+                    if p < min_procs:
+                        min_procs = p
+                    work_sum += work[i]
+                if is_odx and watch:
+                    watch = [i for i in watch if in_pending[i]]
+
+        # --- eager release: drop idle VMs the queue no longer needs ----
+        if idle:
+            surplus = len(idle) - total_procs
+            if surplus > 0:
+                rem = [
+                    # _remaining_paid() inlined (hot loop, see above)
+                    (period - (t - lease[s]) % period) % period or period
+                    for s in idle
+                ]
+                victims = sorted(range(len(idle)),
+                                 key=rem.__getitem__)[:surplus]
+                gone: set[int] = set()
+                for pos in victims:
+                    s = idle[pos]
+                    # _charged() inlined: ceil(max(0, used)/period - eps)
+                    # is never negative, so ``or 1`` == max(1, ...)
+                    ls = lease[s]
+                    used_t = t - ls if t > ls else 0.0
+                    charge = (ceil(used_t / period - 1e-9) or 1) * period
+                    if marginal and s < n_pre:
+                        booked = _charged(ls, t0, period)
+                        charge = max(0.0, charge - booked)
+                    rv += charge
+                    if s >= n_pre:
+                        rv_new += charge
+                    gone.add(s)
+                released.update(gone)
+                rented -= len(gone)
+                idle = [s for s in idle if s not in gone]
+                supply_changed = True
+
+        # --- extra wake-ups -------------------------------------------
+        if supply_changed and pending:
+            cand = t + tick
+            if cand < next_event:
+                next_event = cand
+        if is_odx:
+            # min crossing in (t, next_event) over pending jobs: advance
+            # the pointer past dead entries (crossings are fixed, t only
+            # grows), then the first live entry in the sorted order is
+            # the minimum — same value the reference's full scan finds.
+            while odx_ptr < n_jobs and crossing[odx_sorted[odx_ptr]] <= t:
+                odx_ptr += 1
+            k = odx_ptr
+            while k < n_jobs:
+                i = odx_sorted[k]
+                c = crossing[i]
+                if c >= next_event:
+                    break
+                if in_pending[i]:
+                    next_event = c
+                    break
+                k += 1
+        if idle and pending:
+            # Head-blocked: fall back to tick-stepping (see reference).
+            if min_procs <= len(idle):
+                cand = t + tick
+                if cand < next_event:
+                    next_event = cand
+        if next_event == _INF:
+            next_event = t + tick
+        t = next_event
+
+    # Still-active VMs are charged through their last use (see the
+    # reference's scoring commentary).  Ascending slot order == the
+    # reference's active order; charges are exact period multiples so
+    # the accumulation order could not matter anyway.
+    for s in range(len(lease)):
+        if s in released:
+            continue
+        end = lbe[s]
+        ls = lease[s]
+        used_t = end - ls if end > ls else 0.0
+        charge = (ceil(used_t / period - 1e-9) or 1) * period
+        if marginal and s < n_pre:
+            booked = _charged(ls, t0, period)
+            charge = max(0.0, charge - booked)
+        rv += charge
+        if s >= n_pre:
+            rv_new += charge
+
+    return sim._score_fast(prep, policy.provisioning, start_times,
+                           t, rv, rv_new, steps, truncated)

@@ -44,6 +44,43 @@ __all__ = ["OnlineSimulator", "SimOutcome"]
 _EPS = 1e-6
 _INF = float("inf")
 
+#: Queue size at which :meth:`OnlineSimulator._finalize` switches the
+#: BSD math to the numpy batch in :mod:`repro.metrics.slowdown`.  The
+#: batch is elementwise (no reductions), so results are bit-identical to
+#: the scalar loop either way; below this size the array setup costs
+#: more than it saves.
+_BATCH_MIN = 32
+
+
+def _remaining_paid(t: float, lease_time: float, period: float) -> float:
+    """Seconds of already-paid lease left at time *t* in the current
+    billing period.
+
+    The trailing ``or period`` is deliberate, not a fallback: exactly at
+    a billing boundary (``t - lease_time`` a multiple of *period*,
+    including ``t == lease_time``) the 0.0 remainder maps to a full
+    *period*.  This matches the sim's own ceil-based charging
+    (:func:`_charged` books the next period the moment use continues past
+    a boundary), so a boundary VM has the *most* paid time ahead and
+    sorts last in the ascending release order.  Known deviation:
+    ``CloudProvider.remaining_paid`` reports 0.0 at exact non-initial
+    boundaries (release-now-costs-nothing view); the sim has always used
+    the full-period mapping and the fast kernel preserves it bit-for-bit
+    (pinned in tests/test_kernel_fast.py).
+    """
+    return (period - (t - lease_time) % period) % period or period
+
+
+def _charged(lease: float, end: float, period: float) -> float:
+    """Hour-rounded charge for [lease, end] (min one period).
+
+    Always an exact integer multiple of *period*, so accumulating these
+    charges in any order yields the same float — a property the kernel
+    fast path's bit-identity relies on.
+    """
+    used = max(0.0, end - lease)
+    return max(1, math.ceil(used / period - 1e-9)) * period
+
 
 @dataclass(slots=True, frozen=True)
 class SimOutcome:
@@ -81,7 +118,17 @@ class OnlineSimulator:
     max_steps:
         Safety valve: a simulation exceeding this many decision points is
         truncated (score 0), never looped forever.
+    kernel:
+        "fast" (default) routes eligible (policy, release-rule) pairs
+        through the array-based kernel in :mod:`repro.core.fast_sim`,
+        which produces bit-identical outcomes; "reference" forces the
+        original object-based loop for every evaluation (escape hatch /
+        differential-testing baseline).
     """
+
+    #: Class-level default so schedulers pickled before the attribute
+    #: existed (durability snapshots) resume on the current default.
+    kernel = "fast"
 
     def __init__(
         self,
@@ -90,6 +137,7 @@ class OnlineSimulator:
         max_steps: int = 100_000,
         rv_accounting: str = "total",
         release_rule: str = "eager",
+        kernel: str = "fast",
     ) -> None:
         if tick <= 0:
             raise ValueError(f"tick must be positive, got {tick}")
@@ -103,6 +151,10 @@ class OnlineSimulator:
             raise ValueError(
                 f"release_rule must be 'eager' or 'boundary', got {release_rule!r}"
             )
+        if kernel not in ("fast", "reference"):
+            raise ValueError(
+                f"kernel must be 'fast' or 'reference', got {kernel!r}"
+            )
         self.utility = utility or UtilityFunction()
         self.tick = float(tick)
         self.max_steps = max_steps
@@ -113,8 +165,47 @@ class OnlineSimulator:
         self.rv_accounting = rv_accounting
         #: Must match the engine's idle-VM release rule (see EngineConfig).
         self.release_rule = release_rule
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
+
+    def prepare(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ):
+        """Build the warm-start prefix for one selection round.
+
+        Everything derivable from the (queue, profile) snapshot alone —
+        per-job constants, VM base arrays, the policy-independent RJ
+        total — is computed once here and shared by every subsequent
+        :meth:`evaluate_prepared` call, instead of being re-derived per
+        policy (up to 60× per tick).
+        """
+        if not (len(queue) == len(waits) == len(runtimes)):
+            raise ValueError("queue, waits and runtimes must be parallel")
+        from repro.core.fast_sim import KernelPrep
+
+        return KernelPrep(queue, waits, runtimes, profile)
+
+    def evaluate_prepared(self, prep, policy: CombinedPolicy) -> SimOutcome:
+        """Evaluate *policy* against a prefix built by :meth:`prepare`.
+
+        Takes the fast path when the kernel allows it and the policy is
+        built from the known concrete classes; otherwise falls back to
+        the reference loop on the original snapshot (same results).
+        """
+        if getattr(self, "kernel", "fast") == "fast" and self.release_rule == "eager":
+            from repro.core.fast_sim import fast_evaluate, fast_plan
+
+            plan = fast_plan(policy)
+            if plan is not None:
+                return fast_evaluate(self, prep, policy, plan)
+        return self._evaluate_reference(
+            prep.queue, prep.waits, prep.runtimes, prep.profile, policy
+        )
 
     def evaluate(
         self,
@@ -128,10 +219,36 @@ class OnlineSimulator:
 
         ``queue``/``waits``/``runtimes`` are parallel: the queued jobs,
         their already-accrued wait at snapshot time, and the runtime
-        estimates the scheduler plans with.
+        estimates the scheduler plans with.  One-shot entry point: builds
+        a throwaway prefix when the fast kernel applies; callers scoring
+        many policies on one snapshot should :meth:`prepare` once and use
+        :meth:`evaluate_prepared`.
         """
         if not (len(queue) == len(waits) == len(runtimes)):
             raise ValueError("queue, waits and runtimes must be parallel")
+        if getattr(self, "kernel", "fast") == "fast" and self.release_rule == "eager":
+            from repro.core.fast_sim import KernelPrep, fast_evaluate, fast_plan
+
+            plan = fast_plan(policy)
+            if plan is not None:
+                prep = KernelPrep(queue, waits, runtimes, profile)
+                return fast_evaluate(self, prep, policy, plan)
+        return self._evaluate_reference(queue, waits, runtimes, profile, policy)
+
+    def _evaluate_reference(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+        policy: CombinedPolicy,
+    ) -> SimOutcome:
+        """The original object-based simulation loop (`--kernel reference`).
+
+        The fast kernel mirrors this loop decision-for-decision; keep the
+        two in lockstep (the differential soak in tests/test_kernel_fast.py
+        and the CI kernel-smoke export diff enforce it).
+        """
         t0 = profile.now
         period = profile.billing_period
         boot = profile.boot_delay
@@ -191,6 +308,14 @@ class OnlineSimulator:
                         vm.busy_until = -1.0
                     idle.append(vm)
 
+            # ``available`` counts booting VMs as supply on purpose: the
+            # engine's ClusterEngine._build_context computes it the same
+            # way (rented - busy), so provisioning policies see identical
+            # demand signals here and live.  The eager-release pass below
+            # deliberately does NOT count booting VMs (again matching
+            # ClusterEngine._release_surplus) — supply for *sizing*,
+            # not for *releasing*.  tests/test_kernel_fast.py pins the
+            # agreement on a booting-heavy profile.
             ctx = SchedContext(
                 now=t,
                 queue=[queue[i] for i in pending],
@@ -199,6 +324,11 @@ class OnlineSimulator:
                 rented=len(active),
                 available=len(active) - len(busy_frees),
                 busy=len(busy_frees),
+                # Known deviation from the engine: these are the snapshot's
+                # *actual* busy-until times, while the engine publishes
+                # predicted frees (start + estimate).  Only planning
+                # policies (EASY backfilling — not in the portfolio) read
+                # this field, so the portfolio scores are unaffected.
                 busy_free_times=busy_frees,
                 max_vms=max_vms,
                 spot_price=profile.spot_price,
@@ -252,9 +382,7 @@ class OnlineSimulator:
                 views = [
                     IdleVM(
                         vm_id=i,
-                        remaining_paid=(period - (t - vm.lease_time) % period)
-                        % period
-                        or period,
+                        remaining_paid=_remaining_paid(t, vm.lease_time, period),
                     )
                     for i, vm in enumerate(idle)
                 ]
@@ -288,8 +416,7 @@ class OnlineSimulator:
                 surplus = max(0, len(idle) - demand_left)
                 if surplus > 0:
                     idle.sort(
-                        key=lambda vm: (period - (t - vm.lease_time) % period) % period
-                        or period
+                        key=lambda vm: _remaining_paid(t, vm.lease_time, period)
                     )
                     gone_eager = set()
                     for vm in idle[:surplus]:
@@ -325,32 +452,9 @@ class OnlineSimulator:
                     cand = t + self.tick
                     if cand < next_event:
                         next_event = cand
-            if next_event is _INF or next_event == _INF:
+            if next_event == _INF:
                 next_event = t + self.tick
             t = next_event
-
-        # --- scoring ------------------------------------------------------
-        end_time = t0
-        for qidx, start in start_times.items():
-            finish = start + max(runtimes[qidx], 1.0)
-            if finish > end_time:
-                end_time = finish
-
-        rj = 0.0
-        bsd_sum = 0.0
-        for qidx in range(len(queue)):
-            est = max(runtimes[qidx], 1.0)
-            rj += procs_of[qidx] * est
-            start = start_times.get(qidx)
-            if start is None:
-                # Truncated before this job started: penalise with the wait
-                # accrued up to truncation plus one full horizon.
-                total_wait = waits[qidx] + (t - t0) + (end_time - t0)
-            else:
-                total_wait = waits[qidx] + (start - t0)
-            denom = max(est, BOUNDED_SLOWDOWN_BOUND)
-            bsd_sum += max(1.0, (total_wait + denom) / denom)
-        bsd = bsd_sum / len(queue) if queue else 1.0
 
         # Still-active VMs are charged through their last use: with the
         # release-at-boundary rule, terminating right after the last job
@@ -361,6 +465,80 @@ class OnlineSimulator:
             rv += charge
             if not vm.preexisting:
                 rv_new += charge
+
+        return self._finalize(
+            queue, waits, runtimes, procs_of, provisioning, profile,
+            start_times, t, rv, rv_new, steps, truncated,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        procs_of: Sequence[int],
+        provisioning,
+        profile: CloudProfile,
+        start_times: dict[int, float],
+        t: float,
+        rv: float,
+        rv_new: float,
+        steps: int,
+        truncated: bool,
+    ) -> SimOutcome:
+        """Shared scoring epilogue of both kernels (VM charges already in
+        *rv*/*rv_new*): end time, RJ/BSD aggregation, spot re-pricing,
+        utility."""
+        t0 = profile.now
+        end_time = t0
+        for qidx, start in start_times.items():
+            finish = start + max(runtimes[qidx], 1.0)
+            if finish > end_time:
+                end_time = finish
+
+        n = len(queue)
+        # A job can lack a start time only on truncation; ``end_time``
+        # then reflects started jobs alone (t0 if none started), which
+        # would under-penalise an all-blocked truncation.  Penalise
+        # against the horizon actually simulated instead.  Values change
+        # only for truncated outcomes (whose score is pinned to 0.0
+        # regardless) — drained runs are bit-identical either way.
+        horizon = end_time if end_time > t else t
+        rj = 0.0
+        bsd_sum = 0.0
+        if n >= _BATCH_MIN and not truncated:
+            # Batch the per-job arithmetic; elementwise numpy float64 ops
+            # round exactly like the scalar expressions below, and the
+            # accumulation stays a left-to-right Python sum over the
+            # materialised terms, so the result is bit-identical.
+            from repro.metrics.slowdown import bounded_slowdown_batch
+            import numpy as np
+
+            est_arr = np.maximum(np.asarray(runtimes, dtype=np.float64), 1.0)
+            starts = np.fromiter(
+                (start_times[i] for i in range(n)), dtype=np.float64, count=n
+            )
+            total_waits = np.asarray(waits, dtype=np.float64) + (starts - t0)
+            for term in (np.asarray(procs_of, dtype=np.float64) * est_arr).tolist():
+                rj += term
+            for term in bounded_slowdown_batch(total_waits, est_arr).tolist():
+                bsd_sum += term
+        else:
+            for qidx in range(n):
+                est = max(runtimes[qidx], 1.0)
+                rj += procs_of[qidx] * est
+                start = start_times.get(qidx)
+                if start is None:
+                    # Truncated before this job started: penalise with the
+                    # wait accrued up to truncation plus one full horizon.
+                    total_wait = waits[qidx] + (t - t0) + (horizon - t0)
+                else:
+                    total_wait = waits[qidx] + (start - t0)
+                denom = max(est, BOUNDED_SLOWDOWN_BOUND)
+                bsd_sum += max(1.0, (total_wait + denom) / denom)
+        bsd = bsd_sum / n if queue else 1.0
 
         # Spot snapshot: re-price the VM hours this policy would lease at
         # its spot mix (risk-adjusted), so cheap-but-risky members compete
@@ -386,6 +564,68 @@ class OnlineSimulator:
             truncated=truncated,
         )
 
+    def _score_fast(
+        self,
+        prep,
+        provisioning,
+        start_times: dict[int, float],
+        t: float,
+        rv: float,
+        rv_new: float,
+        steps: int,
+        truncated: bool,
+    ) -> SimOutcome:
+        """Scoring entry point for the fast kernel.
+
+        Same epilogue as :meth:`_finalize`, but reusing the prefix's
+        per-job constants: ``est`` is ``max(runtime, 1.0)``, ``denom10``
+        is ``max(runtime, 10.0)`` (== ``max(est, 10.0)``), and ``rj`` is
+        policy-independent, so all three come straight from *prep* with
+        the identical float values the reference loop recomputes.
+        Truncated runs (rare, cold) defer to :meth:`_finalize`.
+        """
+        if truncated:
+            return self._finalize(
+                prep.queue, prep.waits, prep.runtimes, prep.procs,
+                provisioning, prep.profile, start_times, t, rv, rv_new,
+                steps, truncated,
+            )
+        t0 = prep.t0
+        est = prep.est
+        denom10 = prep.denom10
+        waits0 = prep.waits0
+        end_time = t0
+        for qidx, start in start_times.items():
+            finish = start + est[qidx]
+            if finish > end_time:
+                end_time = finish
+
+        n = prep.n_jobs
+        bsd_sum = 0.0
+        for qidx in range(n):
+            denom = denom10[qidx]
+            total_wait = waits0[qidx] + (start_times[qidx] - t0)
+            bsd_sum += max(1.0, (total_wait + denom) / denom)
+        bsd = bsd_sum / n if n else 1.0
+
+        profile = prep.profile
+        if profile.spot_price is not None:
+            factor = rv_spot_factor(
+                provisioning, profile.spot_price, profile.spot_price_effective
+            )
+            if factor != 1.0:
+                rv = (rv - rv_new) + rv_new * factor
+
+        return SimOutcome(
+            score=self.utility(prep.rj, rv, bsd),
+            bsd=bsd,
+            rj_seconds=prep.rj,
+            rv_seconds=rv,
+            steps=steps,
+            end_time=end_time,
+            truncated=False,
+        )
+
     # ------------------------------------------------------------------
 
     def _vm_charge(self, vm: _SimVM, t0: float, end: float, period: float) -> float:
@@ -395,14 +635,12 @@ class OnlineSimulator:
         "marginal" mode the hours a pre-existing VM had already booked
         before the snapshot are netted out.
         """
-        full = self._charged(vm.lease_time, max(end, vm.lease_time), period)
+        full = _charged(vm.lease_time, max(end, vm.lease_time), period)
         if self.rv_accounting == "marginal" and vm.preexisting:
-            booked = self._charged(vm.lease_time, t0, period)
+            booked = _charged(vm.lease_time, t0, period)
             return max(0.0, full - booked)
         return full
 
-    @staticmethod
-    def _charged(lease: float, end: float, period: float) -> float:
-        """Hour-rounded charge for [lease, end] (min one period)."""
-        used = max(0.0, end - lease)
-        return max(1, math.ceil(used / period - 1e-9)) * period
+    #: Kept as a static method alias for existing callers/tests; the
+    #: module-level :func:`_charged` is the single implementation.
+    _charged = staticmethod(_charged)

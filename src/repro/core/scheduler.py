@@ -119,6 +119,10 @@ class PortfolioScheduler(Scheduler):
         and SIGKILLed (the wave is retried, then degrades to serial).
         ``None`` (default) waits indefinitely.  Ignored when
         ``workers == 0``.
+    kernel:
+        Online-simulator kernel: ``"fast"`` (default, warm-start slot
+        arrays with bit-identical scoring) or ``"reference"`` (the
+        historical per-step object scan; escape hatch).
     """
 
     def __init__(
@@ -138,6 +142,7 @@ class PortfolioScheduler(Scheduler):
         safe_policy: CombinedPolicy | str | None = None,
         workers: int = 0,
         worker_deadline: float | None = None,
+        kernel: str = "fast",
     ) -> None:
         if not 0.0 <= reflection_weight <= 1.0:
             raise ValueError(
@@ -158,6 +163,7 @@ class PortfolioScheduler(Scheduler):
             tick=sim_tick,
             rv_accounting=rv_accounting,
             release_rule=release_rule,
+            kernel=kernel,
         )
         self.workers = int(workers)
         evaluator = None

@@ -160,6 +160,19 @@ class TimeConstrainedSelector:
         self.total_simulated = 0
         #: Total evaluations quarantined (exceptions swallowed) so far.
         self.quarantined = 0
+        #: Warm-start prefix for the current invocation: one
+        #: ``KernelPrep`` built in :meth:`select` and shared by every
+        #: policy evaluation of the round (``None`` between rounds).
+        self._prep = None
+        #: Round-over-round memo: ``policy.name -> SimOutcome`` from the
+        #: previous invocation, valid only while ``_memo_key`` matches the
+        #: current (queue, waits, runtimes, profile) state.  ``None`` when
+        #: memoization is off (reference kernel keeps the historical
+        #: one-evaluation-per-policy-per-round behaviour).
+        self._memo: dict[str, SimOutcome] | None = None
+        self._memo_key: tuple | None = None
+        #: Evaluations answered from the memo instead of a fresh simulation.
+        self.memo_hits = 0
         #: Evaluations quarantined since the last *successful* evaluation;
         #: the scheduler's failover cap watches this.
         self.consecutive_quarantines = 0
@@ -173,6 +186,92 @@ class TimeConstrainedSelector:
         self.profiler = None
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _round_key(
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> tuple:
+        """Digest of the selection-round inputs the simulator reads.
+
+        Jobs are keyed by ``(job_id, procs)`` — the only job fields the
+        online simulation consumes beyond the parallel ``waits`` /
+        ``runtimes`` arrays — and :class:`CloudProfile` is a frozen
+        dataclass that compares by value, so two rounds with equal keys
+        are guaranteed to produce identical ``SimOutcome``s per policy.
+        """
+        return (
+            tuple((job.job_id, job.procs) for job in queue),
+            tuple(waits),
+            tuple(runtimes),
+            profile,
+        )
+
+    def _memo_lookup(self, policy: CombinedPolicy) -> PolicyScore | None:
+        """Return a cached :class:`PolicyScore` for *policy*, if memoised.
+
+        A hit is charged ``cost_clock.measure(0.0, steps)`` — under the
+        paper's virtual clock that is *exactly* what a fresh evaluation
+        would charge (the clock ignores wall time), so memoization never
+        perturbs the Algorithm 1 budget trajectory in experiments.
+        """
+        memo = getattr(self, "_memo", None)
+        if memo is None:
+            return None
+        cached = memo.get(policy.name)
+        if cached is None:
+            return None
+        self.memo_hits = getattr(self, "memo_hits", 0) + 1
+        self.consecutive_quarantines = 0
+        return PolicyScore(
+            policy=policy,
+            score=cached.score,
+            cost=self.cost_clock.measure(0.0, cached.steps),
+            outcome=cached,
+        )
+
+    def _begin_round(
+        self,
+        queue: Sequence[Job],
+        waits: Sequence[float],
+        runtimes: Sequence[float],
+        profile: CloudProfile,
+    ) -> None:
+        """Set up the round's warm-start prefix and memo validity.
+
+        The prefix (:meth:`OnlineSimulator.prepare`) is built once and
+        shared by every serial evaluation this round.  The memo survives
+        from the previous round only while the round key is unchanged —
+        any queue/wait/fleet delta invalidates it wholesale.  Both are
+        gated on the fast kernel so ``--kernel reference`` keeps the
+        historical evaluation path bit-for-bit.
+        """
+        simulator = self.simulator
+        if (
+            getattr(simulator, "kernel", "reference") != "fast"
+            # A subclass overriding ``evaluate`` (stubs, instrumentation)
+            # must keep seeing one call per policy: the prepared path
+            # would silently bypass the override, and memo hits would
+            # swallow calls entirely.
+            or type(simulator).evaluate is not OnlineSimulator.evaluate
+        ):
+            self._prep = None
+            self._memo = None
+            self._memo_key = None
+            return
+        key = self._round_key(queue, waits, runtimes, profile)
+        if getattr(self, "_memo", None) is None or key != getattr(
+            self, "_memo_key", None
+        ):
+            self._memo = {}
+            self._memo_key = key
+        profiler = self.profiler
+        prep_begin = _time.perf_counter() if profiler is not None else 0.0
+        self._prep = simulator.prepare(queue, waits, runtimes, profile)
+        if profiler is not None:
+            profiler.add("selector.prepare", _time.perf_counter() - prep_begin)
 
     def _simulate(
         self,
@@ -194,11 +293,20 @@ class TimeConstrainedSelector:
         :meth:`CostClock.stamp`, so virtual clocks never touch the real
         clock at all.
         """
+        hit = self._memo_lookup(policy)
+        if hit is not None:
+            return hit
         profiler = self.profiler
         span_begin = _time.perf_counter() if profiler is not None else 0.0
         begin = self.cost_clock.stamp()
+        prep = getattr(self, "_prep", None)
         try:
-            outcome = self.simulator.evaluate(queue, waits, runtimes, profile, policy)
+            if prep is not None:
+                outcome = self.simulator.evaluate_prepared(prep, policy)
+            else:
+                outcome = self.simulator.evaluate(
+                    queue, waits, runtimes, profile, policy
+                )
         except Exception:
             wall = self.cost_clock.stamp() - begin
             if profiler is not None:
@@ -216,6 +324,9 @@ class TimeConstrainedSelector:
         if profiler is not None:
             profiler.add("selector.evaluate", _time.perf_counter() - span_begin)
         self.consecutive_quarantines = 0
+        memo = getattr(self, "_memo", None)
+        if memo is not None:
+            memo[policy.name] = outcome  # failures are never memoised
         cost = self.cost_clock.measure(wall, outcome.steps)
         return PolicyScore(policy=policy, score=outcome.score, cost=cost, outcome=outcome)
 
@@ -238,6 +349,7 @@ class TimeConstrainedSelector:
         """
         select_begin = _time.perf_counter() if self.profiler is not None else 0.0
         delta = self.time_constraint
+        self._begin_round(queue, waits, runtimes, profile)
         d1, d2, d3 = split_budget(
             delta, len(self.smart), len(self.stale), len(self.poor)
         )
@@ -266,6 +378,7 @@ class TimeConstrainedSelector:
 
         self.invocations += 1
         self.total_simulated += len(simulated)
+        self._prep = None  # do not pin the round's snapshot between ticks
         if self.profiler is not None:
             self.profiler.add(
                 "selector.select", _time.perf_counter() - select_begin
@@ -346,12 +459,24 @@ class TimeConstrainedSelector:
             nonlocal spent
             while budget > 0:
                 wave: list[tuple[int, CombinedPolicy]] = []
+                hits = 0
                 for _ in range(evaluator.workers):
                     policy = take_next()
                     if policy is None:
                         break
+                    # Memo hits are answered parent-side and never shipped
+                    # to a worker; they still charge the phase budget.
+                    ps = self._memo_lookup(policy)
+                    if ps is not None:
+                        simulated.append(ps)
+                        budget -= ps.cost
+                        spent += ps.cost
+                        hits += 1
+                        continue
                     wave.append((self._policy_index[policy.name], policy))
                 if not wave:
+                    if hits:
+                        continue
                     break
                 by_index = {index: policy for index, policy in wave}
                 wave_begin = (
@@ -383,6 +508,9 @@ class TimeConstrainedSelector:
                     else:
                         self.consecutive_quarantines = 0
                         assert rec.outcome is not None
+                        memo = getattr(self, "_memo", None)
+                        if memo is not None:
+                            memo[policy.name] = rec.outcome
                         ps = PolicyScore(
                             policy=policy,
                             score=rec.outcome.score,

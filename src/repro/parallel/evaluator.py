@@ -44,6 +44,7 @@ retried on a fresh pool, with the same terminal serial fallback.
 
 from __future__ import annotations
 
+import pickle
 import time
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -88,6 +89,48 @@ def _evaluate_chunk(
         begin = time.perf_counter()
         try:
             outcome = simulator.evaluate(queue, waits, runtimes, profile, policy)
+        except Exception as exc:
+            records.append(
+                EvalRecord(
+                    index=index,
+                    outcome=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall=time.perf_counter() - begin,
+                )
+            )
+        else:
+            records.append(
+                EvalRecord(
+                    index=index,
+                    outcome=outcome,
+                    error=None,
+                    wall=time.perf_counter() - begin,
+                )
+            )
+    return records
+
+
+def _evaluate_chunk_packed(
+    simulator: OnlineSimulator,
+    items: Sequence[tuple[int, CombinedPolicy]],
+    payload: bytes,
+) -> list[EvalRecord]:
+    """Worker-side: unpack the shared wave snapshot, then evaluate a chunk.
+
+    The ``(queue, waits, runtimes, profile)`` snapshot is pickled *once*
+    in the parent and shipped as opaque bytes to every chunk, instead of
+    being re-pickled per ``submit`` call.  The chunk also builds one
+    warm-start prefix (:meth:`OnlineSimulator.prepare`) shared by all its
+    policies — the same sharing the serial selector does per round — so
+    ``wall`` stays the time the evaluation alone burned.
+    """
+    queue, waits, runtimes, profile = pickle.loads(payload)
+    prep = simulator.prepare(queue, waits, runtimes, profile)
+    records: list[EvalRecord] = []
+    for index, policy in items:
+        begin = time.perf_counter()
+        try:
+            outcome = simulator.evaluate_prepared(prep, policy)
         except Exception as exc:
             records.append(
                 EvalRecord(
@@ -167,21 +210,23 @@ class ParallelPortfolioEvaluator:
         items = list(wave)
         if not items:
             return []
-        # The snapshot is pickled once per chunk (not once per policy):
-        # queue/waits/runtimes/profile dominate the payload, the policy
-        # objects are a few dataclasses each.
+        # The snapshot is pickled once per *wave* and shipped as shared
+        # bytes: queue/waits/runtimes/profile dominate the payload, and
+        # re-pickling them per chunk was pure submit-side overhead.  The
+        # policy objects (a few dataclasses each) still ride per chunk.
+        payload = pickle.dumps(
+            (list(queue), list(waits), list(runtimes), profile),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         chunks = _chunk(items, self.workers)
         for _ in range(2):
             pool = get_pool(self.workers)
             futures = [
                 pool.submit(
-                    _evaluate_chunk,
+                    _evaluate_chunk_packed,
                     self.simulator,
                     chunk,
-                    list(queue),
-                    list(waits),
-                    list(runtimes),
-                    profile,
+                    payload,
                 )
                 for chunk in chunks
             ]

@@ -194,13 +194,22 @@ class Simulator:
         ``until`` so post-run measurements see a consistent end time.
         """
         processed = 0
+        if until is None:
+            # Unbounded run: no deadline to compare against, so skip the
+            # per-event peek (pop performs the same lazy-cancel cleanup).
+            while self.queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+            return
         while self.queue:
             next_time = self.queue.peek_time()
-            if until is not None and next_time is not None and next_time > until:
+            if next_time is not None and next_time > until:
                 break
             if max_events is not None and processed >= max_events:
                 break
             self.step()
             processed += 1
-        if until is not None and self.now < until:
+        if self.now < until:
             self.now = until
